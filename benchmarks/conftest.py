@@ -1,0 +1,38 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables in *simulated*
+time and prints the reproduced rows next to the paper's claims. They run
+under pytest-benchmark (``pytest benchmarks/ --benchmark-only``); the
+benchmark clock then measures the wall time of the reproduction itself,
+while the printed tables carry the simulated results that correspond to the
+paper's numbers.
+
+Set ``REPRO_SCALE=small`` for a quick pass (used in CI).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import DEFAULT, SMALL
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "figure(name): maps a benchmark to a paper figure")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SMALL if os.environ.get("REPRO_SCALE") == "small" else DEFAULT
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1, warmup_rounds=0)
+
+    return run

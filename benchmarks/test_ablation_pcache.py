@@ -1,0 +1,69 @@
+"""Ablation A5 — permission caching vs directory depth (Section III-C).
+
+Without pcache, every LOOKUP performs a path traversal that consults each
+ancestor's leader over RPC; the cost grows with depth and hammers near-root
+leaders. With pcache, ancestors resolve from the local permission cache.
+"""
+
+import pytest
+
+from repro.core import DEFAULT_PARAMS, build_arkfs
+from repro.posix import AlreadyExists, OpenFlags, ROOT_CREDS
+from repro.sim import Simulator
+from repro.workloads import run_phase
+
+
+def _deep_create_rate(pcache: bool, depth: int, n_clients=4, files=60):
+    sim = Simulator()
+    params = DEFAULT_PARAMS.with_(permission_cache=pcache)
+    cluster = build_arkfs(sim, n_clients=n_clients, params=params)
+    mounts = cluster.mounts
+    prefix = "/" + "/".join(f"lvl{d}" for d in range(depth))
+
+    def setup():
+        for d in range(depth):
+            p = "/" + "/".join(f"lvl{i}" for i in range(d + 1))
+            try:
+                yield from mounts[0].mkdir(ROOT_CREDS, p)
+            except AlreadyExists:
+                pass
+        for c in range(n_clients):
+            yield from mounts[c].mkdir(ROOT_CREDS, f"{prefix}/c{c}")
+
+    run_phase(sim, [sim.process(setup())])
+
+    def worker(c):
+        m = mounts[c]
+        for i in range(files):
+            h = yield from m.open(
+                ROOT_CREDS, f"{prefix}/c{c}/f{i}",
+                OpenFlags.O_CREAT | OpenFlags.O_EXCL | OpenFlags.O_WRONLY)
+            yield from m.close(h)
+
+    t0 = sim.now
+    run_phase(sim, [sim.process(worker(c)) for c in range(n_clients)])
+    return n_clients * files / (sim.now - t0)
+
+
+@pytest.mark.figure("ablation-A5")
+def test_pcache_wins_and_depth_hurts_without_it(bench_once):
+    def run():
+        out = {}
+        for depth in (2, 4, 8):
+            out[depth] = (_deep_create_rate(True, depth),
+                          _deep_create_rate(False, depth))
+        return out
+
+    rows = bench_once(run)
+    print("\nA5 permission caching vs path depth (CREATE ops/s):")
+    print(f"  {'depth':>6} {'pcache':>12} {'no-pcache':>12} {'gain':>7}")
+    for depth, (with_pc, without) in sorted(rows.items()):
+        print(f"  {depth:>6} {with_pc:>12,.0f} {without:>12,.0f} "
+              f"{with_pc / without:>6.1f}x")
+
+    for depth, (with_pc, without) in rows.items():
+        assert with_pc > without, depth
+    # The no-pcache penalty grows with depth (more remote ancestors/LOOKUP).
+    gain_shallow = rows[2][0] / rows[2][1]
+    gain_deep = rows[8][0] / rows[8][1]
+    assert gain_deep > gain_shallow

@@ -1,0 +1,26 @@
+"""Fig. 1 — scalability problem of a dedicated metadata server.
+
+Paper: massive file creations on CephFS (1 MDS) while varying clients up to
+512; aggregate throughput peaks around 4 clients and collapses beyond.
+"""
+
+import pytest
+
+from repro.bench import fig1_mds_scalability, format_series
+
+
+@pytest.mark.figure("fig1")
+def test_fig1_cephfs_collapse(bench_once, scale):
+    series = bench_once(fig1_mds_scalability, scale)
+    print()
+    print(format_series("Fig. 1 — CephFS-K (1 MDS) normalized create "
+                        "throughput", {"cephfs-k": series}))
+    xs = sorted(series)
+    peak_x = max(series, key=series.get)
+    # Paper shape: the peak sits at a small client count (the paper's is at
+    # ~4), the curve is far from linear at the top, and throughput collapses
+    # well below the peak for large client counts.
+    assert peak_x <= 8, f"peak at {peak_x} clients"
+    assert series[xs[-1]] < 0.15 * xs[-1], "must be far from linear scaling"
+    assert series[xs[-1]] < 0.6 * series[peak_x], \
+        "throughput must collapse at high client counts"

@@ -1,0 +1,42 @@
+"""Fig. 4 — mdtest-easy throughput (empty-file metadata operations).
+
+Paper: ArkFS far above every competitor in all three phases (up to 24.86x
+vs CephFS); CephFS-K beats CephFS-F and MarFS; 16 MDSs buy CephFS-K at most
+2.41x over 1 MDS.
+"""
+
+import pytest
+
+from repro.bench import fig4_mdtest_easy, format_speedups, format_table
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_mdtest_easy(bench_once, scale):
+    rows = bench_once(fig4_mdtest_easy, scale)
+    print()
+    print(format_table("Fig. 4 — mdtest-easy", rows, unit="ops/s",
+                       fmt="{:>14.0f}"))
+    print(format_speedups("ArkFS advantage (paper: up to 24.86x vs CephFS):",
+                          rows, "arkfs", ["cephfs-f", "cephfs-k"]))
+
+    for phase in ("CREATE", "STAT", "DELETE"):
+        ark = rows["arkfs"][phase]
+        # ArkFS dominates every phase, by a large factor.
+        for other in ("cephfs-k", "cephfs-k16", "cephfs-f", "marfs"):
+            assert ark > 3 * rows[other][phase], (phase, other)
+        # CephFS-K ahead of the FUSE-based CephFS-F and MarFS.
+        assert rows["cephfs-k"][phase] > rows["cephfs-f"][phase] * 0.95
+        assert rows["cephfs-k"][phase] > rows["marfs"][phase]
+
+    # The headline ratio lands near the paper's 24.86x (vs CephFS).
+    headline = max(rows["arkfs"][p] / rows["cephfs-f"][p]
+                   for p in ("CREATE", "STAT", "DELETE"))
+    assert 8 <= headline <= 80, headline
+
+    # Multi-MDS gain is modest (paper: at most 2.41x). At reduced process
+    # counts the distributed-lock overhead can even cancel the gain.
+    gain = rows["cephfs-k16"]["CREATE"] / rows["cephfs-k"]["CREATE"]
+    if scale.mdtest_procs >= 16:
+        assert 1.1 <= gain <= 4.0, gain
+    else:
+        assert 0.7 <= gain <= 4.0, gain

@@ -1,0 +1,54 @@
+"""Fig. 6 — large-file sequential I/O bandwidth (fio).
+
+Paper, RADOS side (a): WRITE parity between ArkFS, CephFS-F and CephFS-K;
+READ parity between ArkFS and CephFS-K, with CephFS-F far lower (128 KB
+max read-ahead).
+
+Paper, S3 side (b): ArkFS 5.95x WRITE and 3.59x READ over S3FS (slow disk
+staging cache); goofys READ well above ArkFS-ra8MB (400 MB read-ahead);
+ArkFS-ra400MB comparable to goofys.
+"""
+
+import pytest
+
+from repro.bench import fig6a_fio_rados, fig6b_fio_s3, format_table
+
+
+@pytest.mark.figure("fig6a")
+def test_fig6a_rados(bench_once, scale):
+    rows = bench_once(fig6a_fio_rados, scale)
+    print()
+    print(format_table("Fig. 6(a) — fio on RADOS", rows, unit="MB/s",
+                       fmt="{:>14.0f}"))
+
+    writes = [rows[k]["WRITE"] for k in ("arkfs", "cephfs-k", "cephfs-f")]
+    # WRITE parity: write-back caches absorb everywhere (within ~35%).
+    assert max(writes) / min(writes) < 1.35, writes
+
+    # READ: ArkFS ~ CephFS-K (both 8 MB read-ahead) >> CephFS-F (128 KB).
+    assert rows["arkfs"]["READ"] / rows["cephfs-k"]["READ"] < 2.0
+    assert rows["cephfs-k"]["READ"] > 1.5 * rows["cephfs-f"]["READ"]
+    assert rows["arkfs"]["READ"] > 2.0 * rows["cephfs-f"]["READ"]
+
+
+@pytest.mark.figure("fig6b")
+def test_fig6b_s3(bench_once, scale):
+    rows = bench_once(fig6b_fio_s3, scale)
+    print()
+    print(format_table("Fig. 6(b) — fio on S3", rows, unit="MB/s",
+                       fmt="{:>14.0f}"))
+    w_ratio = rows["arkfs-s3"]["WRITE"] / rows["s3fs"]["WRITE"]
+    r_ratio = rows["arkfs-s3"]["READ"] / rows["s3fs"]["READ"]
+    print(f"ArkFS vs S3FS: WRITE {w_ratio:.2f}x (paper 5.95x), "
+          f"READ {r_ratio:.2f}x (paper 3.59x)")
+
+    # ArkFS far above S3FS on both sides (paper: 5.95x / 3.59x).
+    assert 3.0 < w_ratio < 12.0, w_ratio
+    assert 2.0 < r_ratio < 12.0, r_ratio
+
+    # goofys READ well above ArkFS-ra8MB...
+    assert rows["goofys"]["READ"] > 1.5 * rows["arkfs-s3"]["READ"]
+    # ... and ArkFS-ra400MB catches up to (or passes) goofys.
+    assert rows["arkfs-s3-ra400"]["READ"] > 0.8 * rows["goofys"]["READ"]
+    # The read-ahead sweep itself: 400 MB >> 8 MB for ArkFS on S3.
+    assert rows["arkfs-s3-ra400"]["READ"] > 2 * rows["arkfs-s3"]["READ"]

@@ -1,0 +1,42 @@
+"""Fig. 7 — metadata scalability, 1..512 clients.
+
+Paper: ArkFS-pcache is near-linear up to 512 clients; ArkFS-no-pcache
+suffers a drastic drop already at 2 clients (near-root hotspot + per-LOOKUP
+path traversal) and stays far below; CephFS-K with 1 MDS collapses; 16 MDSs
+improve it by at most ~3.24x beyond 64 clients.
+"""
+
+import pytest
+
+from repro.bench import fig7_arkfs_scalability, format_series
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_scalability(bench_once, scale):
+    series = bench_once(fig7_arkfs_scalability, scale)
+    print()
+    print(format_series("Fig. 7 — normalized create throughput", series))
+
+    xs = sorted(scale.scal_clients)
+    top = xs[-1]
+
+    # ArkFS-pcache: near-linear (≥60% of ideal at the largest scale).
+    ark = series["arkfs"]
+    assert ark[top] > 0.6 * top, ark[top]
+
+    # ArkFS-no-pcache: drastic drop at 2 clients (paper's exact phrasing),
+    # and far below pcache at scale.
+    nop = series["arkfs-no-pcache"]
+    assert nop[2] < 0.8, nop[2]
+    assert nop[top] < 0.55 * ark[top]
+
+    # CephFS-K (1 MDS): not scalable; well below 10% of ideal at the top.
+    k1 = series["cephfs-k"]
+    assert k1[top] < 0.1 * top
+
+    # 16 MDSs help, but only by a small factor at high client counts
+    # (paper: at most 3.24x beyond 64 clients).
+    k16 = series["cephfs-k16"]
+    gain = k16[top] / k1[top]
+    assert 1.5 < gain < 10.0, gain
+    assert k16[top] < 0.5 * ark[top]

@@ -1,0 +1,26 @@
+"""IO500-style combined scores (not a paper figure; the paper uses IO500's
+mdtest configurations, this completes the scoring side)."""
+
+import pytest
+
+from repro.bench.io500 import io500_run, io500_table
+
+
+@pytest.mark.figure("io500")
+def test_combined_scores_rank_like_the_paper(bench_once, scale):
+    def run():
+        return {k: io500_run(k, scale)
+                for k in ("arkfs", "cephfs-k", "cephfs-f")}
+
+    results = bench_once(run)
+    print()
+    print(io500_table.__doc__ and "")
+    for kind, r in results.items():
+        print(f"  {kind:>10}: BW {r.bw_score:6.2f} GiB/s, "
+              f"MD {r.md_score:7.1f} kIOPS, score {r.score:6.2f}")
+    # ArkFS's metadata advantage dominates the combined score.
+    assert results["arkfs"].score > results["cephfs-k"].score
+    assert results["cephfs-k"].score > results["cephfs-f"].score
+    assert results["arkfs"].md_score > 2 * results["cephfs-k"].md_score
+    # Bandwidth scores stay within one order (parity claims of Fig. 6a).
+    assert results["arkfs"].bw_score < 3 * results["cephfs-k"].bw_score

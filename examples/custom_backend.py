@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Running ArkFS on a custom object-storage backend.
+
+Run with:  python examples/custom_backend.py
+
+The paper's first design goal: "ArkFS provides a file system interface on
+top of any distributed object storage system by simply registering their
+REST APIs." Here we register a toy backend — a latency-modelled dict that
+could just as well be Swift, MinIO or anything speaking GET/PUT/DELETE —
+and mount a full ArkFS on it.
+"""
+
+from repro.core import ArkFSClient, DEFAULT_PARAMS, InoAllocator, PRT, mkfs
+from repro.core.lease import LeaseManager
+from repro.objectstore import NoSuchKey, RestAPIRegistry, RestObjectStore
+from repro.posix import ROOT_CREDS, SyncFS
+from repro.sim import Network, Node, Simulator
+
+
+def build_backend(sim):
+    """A user-provided object store: a dict plus a per-op latency model."""
+    blobs = {}
+    LATENCY = 0.002  # pretend every REST call costs 2 ms
+
+    def rest_get(key):
+        yield sim.timeout(LATENCY)
+        if key not in blobs:
+            raise NoSuchKey(key)
+        return blobs[key]
+
+    def rest_put(key, data):
+        yield sim.timeout(LATENCY + len(data) / 500e6)
+        blobs[key] = bytes(data)
+
+    def rest_delete(key):
+        yield sim.timeout(LATENCY)
+        if key not in blobs:
+            raise NoSuchKey(key)
+        del blobs[key]
+
+    def rest_list(prefix):
+        yield sim.timeout(LATENCY)
+        return [k for k in blobs if k.startswith(prefix)]
+
+    registry = (
+        RestAPIRegistry()
+        .register("get", rest_get)
+        .register("put", rest_put)
+        .register("delete", rest_delete)
+        .register("list", rest_list)
+    )
+    return RestObjectStore(sim, registry), blobs
+
+
+def main() -> None:
+    sim = Simulator()
+    store, blobs = build_backend(sim)
+
+    # Wire an ArkFS deployment manually on top of the custom backend.
+    net = Network(sim)
+    prt = PRT(store, DEFAULT_PARAMS.data_object_size)
+    mkfs(sim, store)
+    mgr_node = Node(sim, "lease-mgr", net=net)
+    manager = LeaseManager(sim, mgr_node, DEFAULT_PARAMS)
+    alloc = InoAllocator(seed=0)
+    node = Node(sim, "client0", cores=8, net=net)
+    client = ArkFSClient(sim, node, prt, DEFAULT_PARAMS, manager, alloc)
+
+    fs = SyncFS(client, ROOT_CREDS)
+    fs.makedirs("/my/data")
+    fs.write_file("/my/data/blob.bin", b"bytes on a custom backend",
+                  do_fsync=True)
+    print("read back:", fs.read_file("/my/data/blob.bin"))
+    print("listing:", fs.readdir("/my/data"))
+    print(f"simulated time spent: {sim.now * 1000:.1f} ms "
+          f"(every REST call costs 2 ms here)")
+
+    print("\nraw keys in the custom backend:")
+    for key in sorted(blobs)[:8]:
+        kind = {"i": "inode", "e": "dentry", "d": "data",
+                "j": "journal", "t": "decision"}.get(key[0], "?")
+        print(f"  [{kind:>8}] {key[:40]}{'…' if len(key) > 40 else ''}")
+    if store.emulated_conditional_put:
+        print("\nnote: this backend has no atomic conditional PUT; ArkFS "
+              "emulates it (fine for single-coordinator workloads).")
+
+
+if __name__ == "__main__":
+    main()

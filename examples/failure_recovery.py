@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Crash consistency walkthrough (paper Section III-E).
+
+Run with:  python examples/failure_recovery.py
+
+Demonstrates the two failure scenarios the paper analyzes:
+
+1. a directory leader crashes holding committed-but-uncheckpointed journal
+   transactions — the next client to acquire the lease is fenced, replays
+   the per-directory journal, and continues;
+2. the lease manager crashes and restarts — current leaders keep working
+   until their leases expire, and new grants resume after one lease period.
+"""
+
+from repro.core import Transaction, build_arkfs, ops_put_dentry, ops_put_inode
+from repro.core.types import Dentry, Inode
+from repro.posix import FileType, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+
+def scenario_client_crash() -> None:
+    print("=== scenario 1: directory leader crashes ===")
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True)
+    fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+
+    fs0.mkdir("/archive")
+    fs0.write_file("/archive/before-crash", b"durable", do_fsync=True)
+    dir_ino = fs0.stat("/archive").st_ino
+    print(f"client0 leads /archive "
+          f"(holder: {cluster.lease_manager.holder_of(dir_ino)})")
+
+    # Simulate work the leader committed to its journal but had not yet
+    # checkpointed to the base objects when it died.
+    inode = Inode(ino=0xDEAD, ftype=FileType.REGULAR, mode=0o644, uid=0,
+                  gid=0)
+    txn = Transaction("crashed-txn", dir_ino, "update", [
+        ops_put_inode(inode),
+        ops_put_dentry(dir_ino, Dentry("committed-not-checkpointed",
+                                       0xDEAD, FileType.REGULAR)),
+    ])
+    sim.run_process(cluster.store.put(
+        cluster.prt.key_journal(dir_ino, 99), txn.to_bytes()))
+
+    print("client0 crashes!")
+    cluster.client(0).crash()
+
+    t0 = sim.now
+    names = fs1.readdir("/archive")  # fencing + journal replay happen inside
+    print(f"client1 takes over after {sim.now - t0:.1f} s of fencing; "
+          f"/archive now: {names}")
+    assert "committed-not-checkpointed" in names
+    assert fs1.read_file("/archive/before-crash") == b"durable"
+    print(f"new leader: {cluster.lease_manager.holder_of(dir_ino)}\n")
+
+
+def scenario_manager_crash() -> None:
+    print("=== scenario 2: lease manager crashes and restarts ===")
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True)
+    fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+
+    fs0.mkdir("/work")
+    fs0.write_file("/work/a", b"1")
+    print("lease manager crashes")
+    cluster.lease_manager.crash()
+
+    # The current leader continues within its lease ("any client who has
+    # the lease can continue its work for its own directory").
+    fs0.write_file("/work/b", b"2")
+    print("leader kept working during the outage:", fs0.readdir("/work"))
+
+    print("lease manager restarts (refuses grants for one lease period)")
+    cluster.lease_manager.restart()
+    t0 = sim.now
+    data = fs1.read_file("/work/b")  # waits out the startup gate internally
+    print(f"client1's first access completed after {sim.now - t0:.1f} s "
+          f"and read {data!r}")
+
+
+def main() -> None:
+    scenario_client_crash()
+    scenario_manager_crash()
+
+
+if __name__ == "__main__":
+    main()

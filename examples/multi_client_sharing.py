@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Client-driven metadata in action: leases, forwarding, and data leases.
+
+Run with:  python examples/multi_client_sharing.py
+
+Walks through the protocol of the paper's Figure 3: one client becomes a
+directory leader and serves forwarded operations for everyone else; file
+data stays cacheable under read/write leases until a genuine write conflict
+pushes the file into direct-I/O mode.
+"""
+
+from repro.core import build_arkfs
+from repro.posix import OpenFlags, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=3, functional=True)
+    c0, c1, c2 = cluster.clients
+    fs0, fs1, fs2 = (SyncFS(c, ROOT_CREDS) for c in cluster.clients)
+    mgr = cluster.lease_manager
+
+    # -- per-directory leadership -------------------------------------------
+    fs0.mkdir("/shared")
+    fs0.write_file("/shared/by-c0", b"")
+    dir_ino = fs0.stat("/shared").st_ino
+    print(f"/shared is led by {mgr.holder_of(dir_ino)} "
+          f"(the first client to work there)")
+
+    # c1 and c2 create files in the same directory: their CREATEs are
+    # forwarded to the leader over RPC (Fig. 3(b) steps 1-5).
+    fs1.write_file("/shared/by-c1", b"")
+    fs2.write_file("/shared/by-c2", b"")
+    print("directory after forwarded creates:", fs0.readdir("/shared"))
+    print(f"lease manager stats: {mgr.stats['acquire']} acquires, "
+          f"{mgr.stats['redirect']} redirects")
+
+    # Each client is leader of its own working directory, though:
+    fs1.mkdir("/c1-private")
+    fs1.write_file("/c1-private/f", b"")
+    print(f"/c1-private is led by "
+          f"{mgr.holder_of(fs1.stat('/c1-private').st_ino)}")
+
+    # -- file read/write leases (Section III-D) --------------------------------
+    fs0.write_file("/shared/data.bin", b"v1" * 1000, do_fsync=True)
+    ino = fs0.stat("/shared/data.bin").st_ino
+
+    # Two clients read: both get shared read leases and cache the data.
+    h1 = fs1.open("/shared/data.bin", OpenFlags.O_RDWR)
+    h2 = fs2.open("/shared/data.bin", OpenFlags.O_RDONLY)
+    h1.read(100)
+    h2.read(100)
+    print(f"\nread-lease holders of data.bin: "
+          f"{c0.fleases.holder_count(ino)}")
+    print(f"cached entries at c1: {c1.cache.cached_entries(ino)}, "
+          f"c2: {c2.cache.cached_entries(ino)}")
+
+    # c1 writes while c2 still holds a read lease: the leader broadcasts
+    # cache flushes and the file goes into direct-I/O mode.
+    h1.write(b"XX", offset=0)
+    print(f"after conflicting write: direct mode = "
+          f"{c0.fleases.is_direct(ino)}")
+    print(f"c2's cache was invalidated: "
+          f"{c2.cache.cached_entries(ino)} entries remain")
+
+    # Everyone still reads consistent bytes (straight from object storage).
+    print("c2 reads:", fs2.read_file("/shared/data.bin")[:4])
+    h1.close()
+    h2.close()
+
+
+if __name__ == "__main__":
+    main()

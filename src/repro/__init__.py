@@ -1,0 +1,33 @@
+"""ArkFS reproduction (IPDPS 2023).
+
+A from-scratch Python implementation of ArkFS — a near-POSIX distributed
+file system on object storage with client-driven, per-directory metadata
+management — together with every substrate and baseline its evaluation
+depends on, and the paper's experiments as a regenerable benchmark suite.
+
+Packages:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (timing substrate).
+* :mod:`repro.objectstore` — flat KV object storage (RADOS/S3 profiles).
+* :mod:`repro.posix` — POSIX types, ACLs, the VFS interface, mount models.
+* :mod:`repro.core` — ArkFS itself (the paper's contribution).
+* :mod:`repro.baselines` — CephFS, MarFS, S3FS, goofys comparators.
+* :mod:`repro.workloads` — mdtest, fio, tar, synthetic datasets.
+* :mod:`repro.bench` — one regeneration entry point per paper figure/table.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.core import build_arkfs
+    from repro.posix import SyncFS, ROOT_CREDS
+
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/data")
+    fs.write_file("/data/hello", b"world", do_fsync=True)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,516 @@
+"""CephFS baseline: a centralized-MDS distributed file system over RADOS.
+
+Every metadata operation is a round trip to the MDS cluster
+(:class:`~repro.baselines.mds.MDSCluster`); file data is striped into 4 MB
+RADOS objects and cached client-side in a page cache (write-back +
+read-ahead — 8 MB max for the kernel mount, 128 KB for ceph-fuse, which is
+exactly the asymmetry behind Fig. 6(a)'s READ results). Capabilities that
+let clients cache file data are modelled with the same lease machinery as
+ArkFS's read/write leases, revoked by the MDS on conflicting opens.
+
+Mount types:
+* CephFS-K — :class:`~repro.posix.fuse.KernelMount` (cheap crossings).
+* CephFS-F — :class:`~repro.posix.fuse.FuseMount` with ceph-fuse's global
+  client lock (the ``client_lock`` serialization that keeps it slow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.cache import DataObjectCache, ReadAheadState
+from ..core.filelease import DIRECT, READ, WRITE, FileLeaseGrant, FileLeaseService
+from ..core.prt import PRT
+from ..core.types import InoAllocator
+from ..objectstore.base import ObjectStore
+from ..objectstore.cluster import ClusterObjectStore
+from ..objectstore.memory import InMemoryObjectStore
+from ..objectstore.profiles import MiB, RADOS_PROFILE, StoreProfile
+from ..posix import path as pathmod
+from ..posix.acl import Acl, check_perm
+from ..posix.errors import (
+    AlreadyExists,
+    BadFileHandle,
+    InvalidArgument,
+    IsADirectory,
+    NotFound,
+    UnsupportedOperation,
+)
+from ..posix.fuse import (
+    FUSE_DEFAULTS,
+    KERNEL_DEFAULTS,
+    FuseMount,
+    KernelMount,
+    MountParams,
+)
+from ..posix.types import Credentials, F_OK, OpenFlags
+from ..posix.vfs import FileHandle, VFSClient
+from ..sim.engine import SimGen, Simulator
+from ..sim.network import NetParams, Network, Node
+from .mds import CEPH_MDS, MDSCluster, MDSParams
+from .namespace import Namespace
+
+__all__ = ["CephLikeClient", "CephFSCluster", "build_cephfs",
+           "CephClientParams"]
+
+
+@dataclass(frozen=True)
+class CephClientParams:
+    """Client-side knobs for a Ceph-like DFS."""
+
+    object_size: int = 4 * MiB
+    cache_capacity: int = 256 * MiB
+    max_readahead: int = 8 * MiB       # kernel-mount default
+    caps_lease: float = 5.0
+    client_cpu_per_op: float = 4e-6
+    fail_reads: bool = False           # MarFS interactive-mount READ errors
+
+
+@dataclass
+class _CephOpenState:
+    size: int
+    mtime: float
+    lease: Optional[FileLeaseGrant] = None
+    ra: ReadAheadState = field(default_factory=ReadAheadState)
+    wrote: bool = False
+
+
+class CephLikeClient(VFSClient):
+    """One client of a centralized-MDS file system (CephFS or MarFS)."""
+
+    def __init__(self, sim: Simulator, node: Node, mds: MDSCluster,
+                 prt: PRT, caps: FileLeaseService,
+                 params: CephClientParams):
+        self.sim = sim
+        self.node = node
+        self.mds = mds
+        self.prt = prt
+        self.caps = caps
+        self.params = params
+        self.name = node.name
+        self.ns = mds.namespace
+        self.cache = DataObjectCache(
+            sim, prt, node, entry_size=params.object_size,
+            capacity_bytes=params.cache_capacity,
+            max_readahead=params.max_readahead,
+        )
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _cpu(self) -> SimGen:
+        yield from self.node.work(self.params.client_cpu_per_op)
+
+    def _mds(self, dir_key: int, mutate, weight: float = 1.0) -> SimGen:
+        yield from self._cpu()
+        return (yield from self.mds.call(self.node, dir_key, mutate, weight))
+
+    def _parts(self, path: str):
+        return pathmod.split_path(path)
+
+    @staticmethod
+    def _dirkey(path: str) -> int:
+        """Deterministic subtree-partitioning key: the parent directory."""
+        import zlib
+        parts = pathmod.split_path(path)
+        parent = "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+        return zlib.crc32(parent.encode())
+
+    # -- VFS: namespace ---------------------------------------------------------
+
+    def lookup(self, creds: Credentials, dir_path: str, name: str) -> SimGen:
+        parts = self._parts(dir_path)
+
+        def mutate():
+            dir_ino = self.ns.resolve(creds, parts)
+            return self.ns.lookup(creds, dir_ino, name).stat()
+
+        return (yield from self._mds(self._dirkey(dir_path + "/x"), mutate))
+
+    def mkdir(self, creds: Credentials, path: str, mode: int = 0o777) -> SimGen:
+        parts = self._parts(path)
+        if not parts:
+            raise AlreadyExists("/")
+        now = self.sim.now
+
+        def mutate():
+            parent, name = self.ns.resolve_parent(creds, parts)
+            return self.ns.mkdir(creds, parent, name, mode, now)
+
+        yield from self._mds(self._dirkey(path), mutate)
+
+    def rmdir(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+        if not parts:
+            raise InvalidArgument("/", "cannot rmdir the root")
+        now = self.sim.now
+
+        def mutate():
+            parent, name = self.ns.resolve_parent(creds, parts)
+            return self.ns.rmdir(creds, parent, name, now)
+
+        yield from self._mds(self._dirkey(path), mutate)
+
+    def readdir(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            return self.ns.readdir(creds, self.ns.resolve(creds, parts))
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    def unlink(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+        now = self.sim.now
+
+        def mutate():
+            parent, name = self.ns.resolve_parent(creds, parts)
+            return self.ns.unlink(creds, parent, name, now)
+
+        inode = yield from self._mds(self._dirkey(path), mutate)
+        yield from self.cache.invalidate(inode.ino, flush_dirty=False)
+        self.caps.forget_file(inode.ino)
+        if inode.size > 0:
+            # CephFS moves unlinked inodes to the stray directory and purges
+            # the RADOS objects asynchronously.
+            self.sim.process(self.prt.delete_data(inode.ino, src=self.node),
+                             name=f"purge:{inode.ino:x}")
+
+    def rename(self, creds: Credentials, src: str, dst: str) -> SimGen:
+        sparts, dparts = self._parts(src), self._parts(dst)
+        if not sparts or not dparts:
+            raise InvalidArgument(src, "cannot rename the root")
+        if pathmod.is_ancestor(pathmod.normalize(src), pathmod.normalize(dst)):
+            raise InvalidArgument(dst, "destination inside source")
+        now = self.sim.now
+
+        def mutate():
+            sp, sname = self.ns.resolve_parent(creds, sparts)
+            dp, dname = self.ns.resolve_parent(creds, dparts)
+            return self.ns.rename(creds, sp, sname, dp, dname, now)
+
+        removed = yield from self._mds(self._dirkey(src), mutate, weight=1.5)
+        if removed is not None and removed.size > 0:
+            yield from self.prt.delete_data(removed.ino, src=self.node)
+
+    def stat(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            return self.ns.node(self.ns.resolve(creds, parts)).inode.stat()
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    def lstat(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            ino = self.ns.resolve(creds, parts, follow_final=False)
+            return self.ns.node(ino).inode.stat()
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    def access(self, creds: Credentials, path: str, want: int) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            inode = self.ns.node(self.ns.resolve(creds, parts)).inode
+            if want == F_OK:
+                return True
+            return check_perm(inode.acl, inode.mode, inode.uid, inode.gid,
+                              creds, want)
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    # -- VFS: open / data ------------------------------------------------------------
+
+    def open(self, creds: Credentials, path: str, flags: OpenFlags,
+             mode: int = 0o666) -> SimGen:
+        parts = self._parts(path)
+        if not parts:
+            raise IsADirectory("/")
+        now = self.sim.now
+
+        def mutate():
+            parent, name = self.ns.resolve_parent(creds, parts)
+            # Follow a final symlink to its target file.
+            d = self.ns._dir(parent)
+            child = d.children.get(name)
+            if child is not None and self.ns.node(child).inode.is_symlink:
+                tgt_ino = self.ns.resolve(creds, parts, follow_final=True)
+                inode = self.ns.node(tgt_ino).inode
+                if inode.is_dir:
+                    raise IsADirectory(name)
+                return inode, False
+            return self.ns.create(creds, parent, name, flags, mode, now)
+
+        inode, _created = yield from self._mds(self._dirkey(path), mutate)
+        if flags & OpenFlags.O_TRUNC and inode.size > 0:
+            old = inode.size
+            inode.size = 0
+            inode.mtime = inode.ctime = now
+            yield from self._revoke_caps(inode.ino)
+            yield from self.prt.truncate_data(inode.ino, old, 0,
+                                              src=self.node)
+        grant = yield from self.caps.acquire(inode.ino, self.name, READ)
+        handle = FileHandle(inode.ino, flags, creds)
+        handle.impl = _CephOpenState(size=inode.size, mtime=inode.mtime,
+                                     lease=grant)
+        if flags & OpenFlags.O_APPEND:
+            handle.pos = inode.size
+        return handle
+
+    def _revoke_caps(self, ino: int) -> SimGen:
+        st = self.caps.files.get(ino)
+        if st is None:
+            return
+        yield from self.caps._revoke_all(st, ino, but="")
+        st.version += 1
+
+    def _check_handle(self, handle: FileHandle) -> None:
+        if handle.closed or not isinstance(handle.impl, _CephOpenState):
+            raise BadFileHandle(detail="handle closed or foreign")
+
+    def _ensure_caps(self, handle: FileHandle, want: str) -> SimGen:
+        st: _CephOpenState = handle.impl
+        g = st.lease
+        now = self.sim.now
+        if (g is not None and g.expires_at > now
+                and not (want == WRITE and g.mode == READ)):
+            return g
+        grant = yield from self.caps.acquire(handle.ino, self.name, want)
+        if g is None or grant.version != g.version:
+            yield from self.cache.invalidate(handle.ino, flush_dirty=False)
+        st.lease = grant
+        return grant
+
+    def read(self, handle: FileHandle, size: int,
+             offset: Optional[int] = None) -> SimGen:
+        self._check_handle(handle)
+        if self.params.fail_reads:
+            # MarFS interactive mount: "MarFS returns errors when we perform
+            # this phase in our environment" (Section IV-B).
+            yield self.sim.timeout(0)
+            raise UnsupportedOperation(detail="interactive-mount read failed")
+        if not handle.flags.wants_read:
+            raise BadFileHandle(detail="not open for reading")
+        st: _CephOpenState = handle.impl
+        pos = handle.pos if offset is None else offset
+        grant = yield from self._ensure_caps(handle, READ)
+        eff = max(0, min(size, st.size - pos))
+        if eff == 0:
+            data = b""
+        elif grant.mode == DIRECT:
+            data = yield from self.prt.read_data(handle.ino, pos, eff,
+                                                 st.size, src=self.node)
+        else:
+            data = yield from self.cache.read(handle.ino, pos, eff, ra=st.ra)
+        if offset is None:
+            handle.pos = pos + len(data)
+        return data
+
+    def write(self, handle: FileHandle, data: bytes,
+              offset: Optional[int] = None) -> SimGen:
+        self._check_handle(handle)
+        if not handle.flags.wants_write:
+            raise BadFileHandle(detail="not open for writing")
+        st: _CephOpenState = handle.impl
+        pos = st.size if handle.flags & OpenFlags.O_APPEND else (
+            handle.pos if offset is None else offset)
+        grant = yield from self._ensure_caps(handle, WRITE)
+        if grant.mode == DIRECT:
+            yield from self.prt.write_data(handle.ino, pos, data,
+                                           src=self.node)
+            st.size = max(st.size, pos + len(data))
+            self.ns.update_size(handle.ino, st.size, self.sim.now)
+        else:
+            yield from self.cache.write(handle.ino, pos, data,
+                                        old_size=st.size)
+            st.size = max(st.size, pos + len(data))
+            st.wrote = True
+        st.mtime = self.sim.now
+        if offset is None:
+            handle.pos = pos + len(data)
+        return len(data)
+
+    def fsync(self, handle: FileHandle) -> SimGen:
+        self._check_handle(handle)
+        st: _CephOpenState = handle.impl
+        yield from self.cache.flush(handle.ino)
+        if st.wrote:
+            yield from self._publish_size(handle.ino, st)
+
+    def _publish_size(self, ino: int, st: _CephOpenState) -> SimGen:
+        def mutate():
+            self.ns.update_size(ino, st.size, st.mtime)
+            return True
+
+        yield from self._mds(ino & 0xFFFFFFFF, mutate)
+        st.wrote = False
+
+    def close(self, handle: FileHandle) -> SimGen:
+        self._check_handle(handle)
+        st: _CephOpenState = handle.impl
+        if st.wrote:
+            try:
+                yield from self._publish_size(handle.ino, st)
+            except NotFound:
+                pass
+        else:
+            yield self.sim.timeout(0)
+        handle.closed = True
+
+    def truncate(self, creds: Credentials, path: str, size: int) -> SimGen:
+        parts = self._parts(path)
+        now = self.sim.now
+
+        def mutate():
+            ino = self.ns.resolve(creds, parts)
+            inode = self.ns.node(ino).inode
+            old = inode.size
+            self.ns.setattr(creds, ino, {"size": size}, now)
+            return inode.ino, old
+
+        ino, old = yield from self._mds(self._dirkey(path), mutate)
+        if size < old:
+            yield from self._revoke_caps(ino)
+            yield from self.prt.truncate_data(ino, old, size, src=self.node)
+
+    # -- VFS: attributes ----------------------------------------------------------------
+
+    def _setattr(self, creds, path: str, changes: dict) -> SimGen:
+        parts = self._parts(path)
+        now = self.sim.now
+
+        def mutate():
+            ino = self.ns.resolve(creds, parts)
+            return self.ns.setattr(creds, ino, changes, now).stat()
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    def chmod(self, creds: Credentials, path: str, mode: int) -> SimGen:
+        yield from self._setattr(creds, path, {"mode": mode})
+
+    def chown(self, creds: Credentials, path: str, uid: int, gid: int) -> SimGen:
+        yield from self._setattr(creds, path, {"uid": uid, "gid": gid})
+
+    def utimens(self, creds: Credentials, path: str, atime: float,
+                mtime: float) -> SimGen:
+        yield from self._setattr(creds, path, {"times": (atime, mtime)})
+
+    def getfacl(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            inode = self.ns.node(self.ns.resolve(creds, parts)).inode
+            return inode.acl.copy() if inode.acl else Acl.from_mode(inode.mode)
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    def setfacl(self, creds: Credentials, path: str, acl: Acl) -> SimGen:
+        yield from self._setattr(creds, path, {"acl": acl})
+
+    # -- VFS: links ------------------------------------------------------------------------
+
+    def symlink(self, creds: Credentials, target: str, linkpath: str) -> SimGen:
+        parts = self._parts(linkpath)
+        now = self.sim.now
+
+        def mutate():
+            parent, name = self.ns.resolve_parent(creds, parts)
+            return self.ns.symlink(creds, parent, name, target, now)
+
+        yield from self._mds(self._dirkey(linkpath), mutate)
+
+    def readlink(self, creds: Credentials, path: str) -> SimGen:
+        parts = self._parts(path)
+
+        def mutate():
+            ino = self.ns.resolve(creds, parts, follow_final=False)
+            inode = self.ns.node(ino).inode
+            if not inode.is_symlink:
+                raise InvalidArgument(path, "not a symlink")
+            return inode.symlink_target
+
+        return (yield from self._mds(self._dirkey(path), mutate))
+
+    # -- durability -----------------------------------------------------------------------------
+
+    def sync(self) -> SimGen:
+        yield from self.cache.flush_all()
+
+    def drop_caches(self) -> SimGen:
+        yield from self.cache.drop_all()
+
+
+@dataclass
+class CephFSCluster:
+    """A built CephFS (or MarFS) deployment."""
+
+    sim: Simulator
+    net: Network
+    store: ObjectStore
+    mds: MDSCluster
+    clients: List[CephLikeClient] = field(default_factory=list)
+    mounts: List[VFSClient] = field(default_factory=list)
+
+    def client(self, i: int = 0) -> CephLikeClient:
+        return self.clients[i]
+
+    def mount(self, i: int = 0) -> VFSClient:
+        return self.mounts[i]
+
+
+#: ceph-fuse's global client mutex (the well-known client_lock bottleneck).
+CEPH_FUSE_MOUNT = MountParams(crossing_latency=10e-6, dispatch_cpu=3e-6,
+                              entry_ttl=1.0, lookup_locked=True,
+                              global_lock_service=120e-6,
+                              data_lock_service=15e-6)
+
+
+def build_cephfs(
+    sim: Simulator,
+    n_clients: int = 1,
+    mds_params: MDSParams = CEPH_MDS,
+    client_params: CephClientParams = CephClientParams(),
+    mount: str = "kernel",
+    store: Optional[ObjectStore] = None,
+    store_profile: Optional[StoreProfile] = None,
+    net_params: Optional[NetParams] = None,
+    client_cores: int = 32,
+    functional: bool = False,
+    seed: int = 0,
+) -> CephFSCluster:
+    """Assemble a CephFS-like cluster (``mount``: "kernel" or "fuse")."""
+    net = Network(sim, net_params or NetParams())
+    if store is None:
+        if functional:
+            store = InMemoryObjectStore(sim)
+        else:
+            store = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
+                                       net=net)
+    alloc = InoAllocator(seed=seed)
+    namespace = Namespace(alloc, now=sim.now)
+    mds = MDSCluster(sim, net, namespace, mds_params)
+    prt = PRT(store, client_params.object_size)
+
+    cluster = CephFSCluster(sim=sim, net=net, store=store, mds=mds)
+    registry: Dict[str, CephLikeClient] = {}
+
+    def revoke_cb(holder: str, ino: int) -> SimGen:
+        client = registry[holder]
+        # Cap revocation: an MDS-to-client message plus the flush.
+        yield from net.send(mds.mds[0].node, client.node, 128)
+        yield from client.cache.invalidate(ino, flush_dirty=True)
+
+    caps = FileLeaseService(sim, client_params.caps_lease, revoke_cb)
+    for i in range(n_clients):
+        node = Node(sim, f"ceph-client{i}", cores=client_cores, net=net)
+        client = CephLikeClient(sim, node, mds, prt, caps, client_params)
+        registry[node.name] = client
+        cluster.clients.append(client)
+        if mount == "kernel":
+            cluster.mounts.append(KernelMount(client, node, KERNEL_DEFAULTS))
+        else:
+            cluster.mounts.append(FuseMount(client, node, CEPH_FUSE_MOUNT))
+    return cluster

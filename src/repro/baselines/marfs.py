@@ -1,0 +1,67 @@
+"""MarFS baseline: near-POSIX interface to cloud objects (LANL).
+
+The paper evaluates MarFS v1.12 through its *interactive* FUSE mount (the
+pftool parallel path did not work in their environment), backed by two IBM
+SpectrumScale metadata nodes and ZFS data movers. We model it as a
+centralized-MDS file system with MarFS's heavier metadata service
+(:data:`~repro.baselines.mds.MARFS_MDS`), FUSE-only mounting with a global
+interactive-mount lock, and the READ-phase failure the paper reports for
+mdtest-hard ("MarFS returns errors when we perform this phase in our
+environment") reproduced behind ``fail_reads``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objectstore.base import ObjectStore
+from ..objectstore.profiles import MiB, StoreProfile
+from ..posix.fuse import MountParams
+from ..sim.engine import Simulator
+from ..sim.network import NetParams
+from .cephfs import CephClientParams, CephFSCluster, build_cephfs
+from .mds import MARFS_MDS, MDSParams
+
+__all__ = ["build_marfs", "MARFS_MOUNT"]
+
+#: The interactive mount: FUSE with a coarse global lock (heavier than
+#: ceph-fuse — MarFS's interactive path is explicitly not the fast path).
+MARFS_MOUNT = MountParams(crossing_latency=12e-6, dispatch_cpu=4e-6,
+                          entry_ttl=1.0, lookup_locked=True,
+                          global_lock_service=110e-6,
+                          data_lock_service=25e-6)
+
+#: MarFS packs small files but still moves data in multi-MB objects.
+MARFS_CLIENT = CephClientParams(object_size=4 * MiB,
+                                max_readahead=128 * 1024,
+                                client_cpu_per_op=6e-6,
+                                fail_reads=True)
+
+
+def build_marfs(
+    sim: Simulator,
+    n_clients: int = 1,
+    mds_params: MDSParams = MARFS_MDS,
+    client_params: CephClientParams = MARFS_CLIENT,
+    store: Optional[ObjectStore] = None,
+    store_profile: Optional[StoreProfile] = None,
+    net_params: Optional[NetParams] = None,
+    client_cores: int = 32,
+    functional: bool = False,
+    seed: int = 0,
+) -> CephFSCluster:
+    """Assemble a MarFS-like deployment (always FUSE-mounted)."""
+    cluster = build_cephfs(
+        sim, n_clients=n_clients, mds_params=mds_params,
+        client_params=client_params, mount="fuse", store=store,
+        store_profile=store_profile, net_params=net_params,
+        client_cores=client_cores, functional=functional, seed=seed,
+    )
+    # Swap the ceph-fuse mount parameters for MarFS's interactive mount.
+    for mount in cluster.mounts:
+        mount.params = MARFS_MOUNT
+        if mount._global_lock is None:
+            from ..sim.resources import Mutex
+
+            mount._global_lock = Mutex(sim, name="marfs.interactive_lock")
+    return cluster

@@ -1,0 +1,76 @@
+"""Command-line figure regeneration: ``python -m repro.bench [targets...]``.
+
+Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 all (default: all).
+Pass ``--small`` for the reduced scale.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    DEFAULT,
+    SMALL,
+    fig1_mds_scalability,
+    fig4_mdtest_easy,
+    fig5_mdtest_hard,
+    fig6a_fio_rados,
+    fig6b_fio_s3,
+    fig7_arkfs_scalability,
+    format_series,
+    format_table,
+    table2_archiving,
+)
+
+TARGETS = ("fig1", "fig4", "fig5", "fig6a", "fig6b", "fig7", "table2",
+           "io500")
+
+
+def run_target(name: str, scale) -> None:
+    t0 = time.time()
+    if name == "fig1":
+        series = fig1_mds_scalability(scale)
+        print(format_series("Fig. 1 — CephFS-K (1 MDS) normalized create "
+                            "throughput", {"cephfs-k": series}))
+    elif name == "fig4":
+        print(format_table("Fig. 4 — mdtest-easy", fig4_mdtest_easy(scale),
+                           unit="ops/s", fmt="{:>14.0f}"))
+    elif name == "fig5":
+        print(format_table("Fig. 5 — mdtest-hard", fig5_mdtest_hard(scale),
+                           unit="ops/s", fmt="{:>14.0f}"))
+    elif name == "fig6a":
+        print(format_table("Fig. 6(a) — fio on RADOS", fig6a_fio_rados(scale),
+                           unit="MB/s", fmt="{:>14.0f}"))
+    elif name == "fig6b":
+        print(format_table("Fig. 6(b) — fio on S3", fig6b_fio_s3(scale),
+                           unit="MB/s", fmt="{:>14.0f}"))
+    elif name == "fig7":
+        print(format_series("Fig. 7 — normalized create throughput",
+                            fig7_arkfs_scalability(scale)))
+    elif name == "table2":
+        print(format_table("Table II — elapsed seconds (simulated)",
+                           table2_archiving(scale), unit="s",
+                           fmt="{:>14.2f}"))
+    elif name == "io500":
+        from .io500 import io500_table
+
+        print("IO500-style combined scores")
+        print(io500_table(scale=scale))
+    else:
+        raise SystemExit(f"unknown target {name!r}; pick from {TARGETS}")
+    print(f"[{name}: {time.time() - t0:.1f}s wall]\n")
+
+
+def main(argv) -> None:
+    args = [a for a in argv if not a.startswith("-")]
+    scale = SMALL if "--small" in argv else DEFAULT
+    targets = args or ["all"]
+    if "all" in targets:
+        targets = list(TARGETS)
+    for name in targets:
+        run_target(name, scale)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

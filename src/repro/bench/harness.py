@@ -1,0 +1,150 @@
+"""Experiment harness: named file-system configurations and scales.
+
+Maps the paper's Table I deployment onto simulated clusters and provides
+one builder per evaluated configuration. All benchmarks are *scaled down*
+from the paper's sizes (1M files / 1 TB of fio traffic do not fit a unit
+test); EXPERIMENTS.md documents each scale factor and why the model is
+size-linear in the relevant regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..baselines import (
+    CephClientParams,
+    MDSParams,
+    CEPH_MDS,
+    build_cephfs,
+    build_goofys,
+    build_marfs,
+    build_s3fs,
+    GoofysParams,
+)
+from ..core import DEFAULT_PARAMS, build_arkfs
+from ..objectstore.profiles import KiB, MiB, RADOS_PROFILE, S3_PROFILE
+from ..sim.engine import Simulator
+from ..sim.network import NetParams
+
+__all__ = ["Scale", "SMALL", "DEFAULT", "build", "FS_KINDS"]
+
+
+#: The paper's cluster (Table I): 16 storage nodes (c5n.9xlarge, 50 Gb),
+#: client nodes c5a.8xlarge (10 Gb) for scalability runs and c5n.9xlarge
+#: (50 Gb) elsewhere.
+NET_10G = NetParams(latency_s=50e-6, bandwidth_bps=10e9 / 8)
+NET_50G = NetParams(latency_s=50e-6, bandwidth_bps=50e9 / 8)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for the benchmark suite."""
+
+    # mdtest (paper: 1M files, 16 processes over a few client nodes —
+    # processes sharing a mount is what exposes ceph-fuse's client lock)
+    mdtest_procs: int = 16
+    mdtest_nodes: int = 4
+    easy_files_per_proc: int = 250
+    hard_files_per_proc: int = 100
+    hard_dirs: int = 8
+
+    # fio (paper: 32 procs x 32 GiB, 128 KiB requests)
+    fio_procs: int = 4
+    fio_nodes: int = 2
+    fio_file: int = 48 * MiB
+    fio_block: int = 128 * KiB
+
+    # scalability (paper: 1..512 clients)
+    scal_clients: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+    scal_files_per_client: int = 40
+
+    # archiving (paper: 32 procs x 41K images of ~170 KB, 7 GB per dataset,
+    # several processes per client node)
+    tar_procs: int = 8
+    tar_nodes: int = 2
+    tar_images_per_proc: int = 600
+    tar_image_kb: float = 50.0
+
+
+DEFAULT = Scale()
+
+#: Reduced scale for CI-speed runs: the same *structure* as DEFAULT
+#: (processes per node, node counts) with smaller work counts, so every
+#: paper shape survives the reduction.
+SMALL = Scale(
+    mdtest_procs=8, mdtest_nodes=2, easy_files_per_proc=100,
+    hard_files_per_proc=50, hard_dirs=4,
+    fio_procs=4, fio_nodes=2, fio_file=32 * MiB,
+    scal_clients=(1, 2, 4, 8, 16, 32, 64), scal_files_per_client=25,
+    tar_procs=8, tar_nodes=2, tar_images_per_proc=150, tar_image_kb=50.0,
+)
+
+
+FS_KINDS = (
+    "arkfs",            # ArkFS-pcache on RADOS (the default configuration)
+    "arkfs-no-pcache",
+    "arkfs-s3",         # ArkFS (ra 8 MB) on the S3 profile
+    "arkfs-s3-ra400",   # ArkFS with 400 MB read-ahead on S3
+    "cephfs-k",         # kernel mount, 1 MDS
+    "cephfs-k16",       # kernel mount, 16 MDSs
+    "cephfs-f",         # ceph-fuse mount, 1 MDS
+    "marfs",
+    "s3fs",
+    "goofys",
+)
+
+
+def build(kind: str, sim: Simulator, n_clients: int,
+          net: NetParams = NET_50G, cache_capacity: int = 96 * MiB,
+          client_cores: int = 32):
+    """Build a named configuration; returns (cluster, mounts)."""
+    if kind in ("arkfs", "arkfs-no-pcache", "arkfs-s3", "arkfs-s3-ra400"):
+        params = DEFAULT_PARAMS.with_(
+            permission_cache=(kind != "arkfs-no-pcache"),
+            cache_capacity_bytes=cache_capacity,
+        )
+        profile = RADOS_PROFILE
+        if kind == "arkfs-s3":
+            profile = S3_PROFILE
+        elif kind == "arkfs-s3-ra400":
+            profile = S3_PROFILE
+            params = params.with_(max_readahead=400 * MiB,
+                                  cache_capacity_bytes=512 * MiB)
+        cluster = build_arkfs(sim, n_clients=n_clients, params=params,
+                              store_profile=profile, net_params=net,
+                              client_cores=client_cores)
+        return cluster, cluster.mounts
+
+    if kind in ("cephfs-k", "cephfs-k16", "cephfs-f"):
+        mds = CEPH_MDS if kind != "cephfs-k16" else replace(CEPH_MDS, n_mds=16)
+        mount = "fuse" if kind == "cephfs-f" else "kernel"
+        client_params = CephClientParams(cache_capacity=cache_capacity)
+        if kind == "cephfs-f":
+            # ceph-fuse: 128 KiB default max read-ahead (Section IV-B).
+            client_params = replace(client_params, max_readahead=128 * KiB)
+        cluster = build_cephfs(sim, n_clients=n_clients, mds_params=mds,
+                               client_params=client_params, mount=mount,
+                               store_profile=RADOS_PROFILE, net_params=net,
+                               client_cores=client_cores)
+        return cluster, cluster.mounts
+
+    if kind == "marfs":
+        cluster = build_marfs(sim, n_clients=n_clients,
+                              store_profile=RADOS_PROFILE, net_params=net,
+                              client_cores=client_cores)
+        return cluster, cluster.mounts
+
+    if kind == "s3fs":
+        cluster = build_s3fs(sim, n_clients=n_clients,
+                             store_profile=S3_PROFILE, net_params=net,
+                             client_cores=client_cores)
+        return cluster, cluster.mounts
+
+    if kind == "goofys":
+        cluster = build_goofys(sim, n_clients=n_clients,
+                               store_profile=S3_PROFILE, net_params=net,
+                               client_cores=client_cores)
+        return cluster, cluster.mounts
+
+    raise ValueError(f"unknown file system kind {kind!r}")

@@ -1,0 +1,80 @@
+"""Text rendering of the reproduced tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_speedups"]
+
+LABELS = {
+    "arkfs": "ArkFS",
+    "arkfs-no-pcache": "ArkFS-no-pcache",
+    "arkfs-s3": "ArkFS-ra8MB",
+    "arkfs-s3-ra400": "ArkFS-ra400MB",
+    "cephfs-k": "CephFS-K (1 MDS)",
+    "cephfs-k16": "CephFS-K (16 MDS)",
+    "cephfs-f": "CephFS-F",
+    "marfs": "MarFS",
+    "s3fs": "S3FS",
+    "goofys": "goofys",
+}
+
+
+def _label(kind: str) -> str:
+    return LABELS.get(kind, kind)
+
+
+def format_table(title: str, rows: Mapping[str, Mapping[str, float]],
+                 unit: str = "", fmt: str = "{:>14.1f}") -> str:
+    """Render ``{fs: {column: value}}`` as an aligned text table."""
+    columns: list = []
+    for row in rows.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    width = max(len(_label(k)) for k in rows) + 2
+    out = [title + (f"  [{unit}]" if unit else "")]
+    out.append(" " * width + "".join(f"{c:>15}" for c in columns))
+    for kind, row in rows.items():
+        cells = "".join(
+            fmt.format(row[c]) + " " if c in row else " " * 15
+            for c in columns
+        )
+        out.append(f"{_label(kind):<{width}}" + cells)
+    return "\n".join(out)
+
+
+def format_series(title: str, series: Mapping[str, Mapping[int, float]],
+                  x_label: str = "clients") -> str:
+    """Render ``{fs: {x: y}}`` scalability curves as a text table."""
+    xs = sorted({x for s in series.values() for x in s})
+    width = max(len(_label(k)) for k in series) + 2
+    out = [title]
+    out.append(" " * width + "".join(f"{x:>10}" for x in xs) +
+               f"   ({x_label})")
+    for kind, s in series.items():
+        cells = "".join(
+            f"{s[x]:>10.2f}" if x in s else " " * 10 for x in xs
+        )
+        out.append(f"{_label(kind):<{width}}" + cells)
+    return "\n".join(out)
+
+
+def format_speedups(title: str, rows: Mapping[str, Mapping[str, float]],
+                    base: str, versus: Sequence[str],
+                    invert: bool = False) -> str:
+    """Summarize ``base``'s advantage over each fs in ``versus`` per column.
+
+    ``invert=True`` for elapsed-time tables (smaller is better)."""
+    out = [title]
+    for other in versus:
+        for col, val in rows[base].items():
+            if col not in rows.get(other, {}):
+                continue
+            ov = rows[other][col]
+            if val <= 0 or ov <= 0:
+                continue
+            ratio = (ov / val) if invert else (val / ov)
+            out.append(f"  {col:>12}: {_label(base)} is {ratio:5.2f}x "
+                       f"vs {_label(other)}")
+    return "\n".join(out)

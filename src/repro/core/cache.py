@@ -1,0 +1,339 @@
+"""The user-level data object cache (Section III-D).
+
+Serves the role of the kernel page cache for ArkFS: 2 MB cache entries
+(matching the PRT data-object size) indexed by a radix tree, write-back for
+dirty data, and an adaptive read-ahead window per open file that doubles on
+sequential reads up to ``max_readahead`` (8 MB by default, as in CephFS) —
+and jumps straight to the maximum when a file is read from offset 0.
+
+The same class backs the baseline file systems' client caches (kernel page
+cache for CephFS mounts, goofys' stream read-ahead) with different
+parameters, so bandwidth comparisons exercise one code path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim.engine import Event, SimGen, Simulator
+from ..sim.network import Node
+from .prt import PRT
+from .radix import RadixTree
+
+__all__ = ["CacheEntry", "ReadAheadState", "DataObjectCache"]
+
+
+class CacheEntry:
+    """One cached data object (at most ``entry_size`` bytes)."""
+
+    __slots__ = ("index", "data", "dirty", "loading")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.data = bytearray()
+        self.dirty = False
+        self.loading: Optional[Event] = None  # set while a fetch is in flight
+
+    @property
+    def ready(self) -> bool:
+        return self.loading is None
+
+
+@dataclass
+class ReadAheadState:
+    """Per-open-file read-ahead bookkeeping ("each file has a read-ahead
+    window")."""
+
+    window: int = 0              # current window in bytes
+    next_offset: int = -1        # expected offset of the next sequential read
+    started: bool = False
+
+    def on_read(self, offset: int, size: int, entry_size: int,
+                max_readahead: int) -> None:
+        if not self.started and offset == 0:
+            # Read from the very beginning: expect a full sequential pass,
+            # open the window to the maximum immediately.
+            self.window = max_readahead
+        elif offset == self.next_offset:
+            self.window = min(max(self.window * 2, entry_size), max_readahead)
+        else:
+            self.window = entry_size  # random access: shrink back
+        self.started = True
+        self.next_offset = offset + size
+
+
+class _FileCache:
+    __slots__ = ("ino", "tree", "version")
+
+    def __init__(self, ino: int):
+        self.ino = ino
+        self.tree = RadixTree()
+        self.version = 0
+
+
+class DataObjectCache:
+    """Write-back object cache with read-ahead, shared by one client."""
+
+    def __init__(self, sim: Simulator, prt: PRT, node: Optional[Node],
+                 entry_size: int, capacity_bytes: int, max_readahead: int,
+                 copy_bw: float = 8e9, writeback_parallel: int = 8):
+        if entry_size != prt.data_object_size:
+            raise ValueError("cache entry size must equal the PRT object size")
+        self.sim = sim
+        self.prt = prt
+        self.node = node
+        self.entry_size = entry_size
+        self.capacity = max(1, capacity_bytes // entry_size)
+        self.max_readahead = max_readahead
+        self.copy_bw = copy_bw
+        # Dirty entries are written back by this many concurrent "flusher
+        # threads" (pdflush-style) — serializing PUTs here would wrongly
+        # throttle sequential write bandwidth to one object per RTT.
+        self.writeback_parallel = max(1, writeback_parallel)
+        self._files: Dict[int, _FileCache] = {}
+        self._lru: "OrderedDict[Tuple[int, int], CacheEntry]" = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "prefetches": 0, "flushes": 0,
+                      "evictions": 0}
+
+    # -- internals -------------------------------------------------------------
+
+    def _file(self, ino: int) -> _FileCache:
+        fc = self._files.get(ino)
+        if fc is None:
+            fc = _FileCache(ino)
+            self._files[ino] = fc
+        return fc
+
+    def _touch(self, ino: int, entry: CacheEntry) -> None:
+        self._lru[(ino, entry.index)] = entry
+        self._lru.move_to_end((ino, entry.index))
+
+    def _copy_cost(self, nbytes: int) -> SimGen:
+        if self.node is not None and nbytes > 0:
+            yield from self.node.work(nbytes / self.copy_bw)
+        else:
+            yield self.sim.timeout(0)
+
+    def _make_room(self) -> SimGen:
+        while len(self._lru) >= self.capacity:
+            victim_key = None
+            dirty_batch = []
+            for key, entry in self._lru.items():
+                if not entry.ready:
+                    continue
+                if victim_key is None:
+                    victim_key = key
+                if entry.dirty and len(dirty_batch) < self.writeback_parallel:
+                    dirty_batch.append((key, entry))
+            if victim_key is None:
+                # Everything is mid-fetch; wait for one fetch to land.
+                first = next(iter(self._lru.values()))
+                yield first.loading
+                continue
+            if len(dirty_batch) > 1:
+                # Flush a batch of dirty LRU entries concurrently (the
+                # flusher-thread pool), so eviction pressure doesn't
+                # serialize object PUTs. State may change while we wait, so
+                # re-evaluate the victim afterwards.
+                flushes = [
+                    self.sim.process(self._writeback(k[0], e),
+                                     name=f"wb:{k[0]:x}:{k[1]}")
+                    for k, e in dirty_batch
+                ]
+                yield self.sim.all_of(flushes)
+                continue
+            ino, idx = victim_key
+            entry = self._lru.pop(victim_key)
+            if entry.dirty:
+                yield from self._writeback(ino, entry)
+            fc = self._files.get(ino)
+            if fc is not None:
+                fc.tree.delete(idx)
+                if not fc.tree:
+                    del self._files[ino]
+            self.stats["evictions"] += 1
+
+    def _writeback(self, ino: int, entry: CacheEntry) -> SimGen:
+        if not entry.dirty:
+            return
+        # Clear the flag before the PUT: a write landing mid-flush re-dirties
+        # the entry rather than getting silently marked clean.
+        entry.dirty = False
+        snapshot = bytes(entry.data)
+        try:
+            yield from self.prt.write_object(ino, entry.index, snapshot,
+                                             src=self.node)
+        except Exception:
+            entry.dirty = True
+            raise
+        self.stats["flushes"] += 1
+
+    def _fetch(self, ino: int, index: int) -> SimGen:
+        """Install a loading entry and fill it from storage."""
+        fc = self._file(ino)
+        entry = CacheEntry(index)
+        entry.loading = self.sim.event()
+        fc.tree.set(index, entry)
+        self._touch(ino, entry)
+        try:
+            data = yield from self.prt.read_object(ino, index, src=self.node)
+        except Exception as exc:
+            fc.tree.delete(index)
+            self._lru.pop((ino, index), None)
+            entry.loading.fail(exc)
+            raise
+        entry.data = bytearray(data)
+        ev, entry.loading = entry.loading, None
+        ev.succeed(entry)
+        return entry
+
+    def _get_entry(self, ino: int, index: int, fetch: bool = True) -> SimGen:
+        """Return a ready entry, fetching on miss."""
+        fc = self._file(ino)
+        entry: Optional[CacheEntry] = fc.tree.get(index)
+        if entry is not None:
+            if entry.loading is not None:
+                yield entry.loading
+            self.stats["hits"] += 1
+            self._touch(ino, entry)
+            return entry
+        self.stats["misses"] += 1
+        if not fetch:
+            # Caller will fully overwrite: a blank entry suffices.
+            yield from self._make_room()
+            entry = CacheEntry(index)
+            fc.tree.set(index, entry)
+            self._touch(ino, entry)
+            return entry
+        yield from self._make_room()
+        entry = yield from self._fetch(ino, index)
+        return entry
+
+    # -- public API -----------------------------------------------------------------
+
+    def read(self, ino: int, offset: int, length: int,
+             ra: Optional[ReadAheadState] = None) -> SimGen:
+        """Read through the cache. ``length`` must already be EOF-clipped.
+
+        Issues asynchronous prefetches for the read-ahead window before
+        waiting on the entries the caller needs, so sequential readers
+        pipeline object GETs.
+        """
+        if length <= 0:
+            yield self.sim.timeout(0)
+            return b""
+        if ra is not None:
+            ra.on_read(offset, length, self.entry_size, self.max_readahead)
+            # Kick prefetches for the window beyond this read.
+            end_idx = (offset + length - 1) // self.entry_size
+            ra_end = offset + length + ra.window
+            ra_last_idx = (ra_end - 1) // self.entry_size
+            fc = self._file(ino)
+            for idx in range(end_idx + 1, ra_last_idx + 1):
+                if fc.tree.get(idx) is None and len(self._lru) < self.capacity:
+                    self.stats["prefetches"] += 1
+                    self.sim.process(self._prefetch_one(ino, idx),
+                                     name=f"ra:{ino:x}:{idx}")
+        out = bytearray()
+        for idx, off, n in self.prt.chunk_range(offset, length):
+            entry = yield from self._get_entry(ino, idx)
+            piece = bytes(entry.data[off : off + n])
+            if len(piece) < n:
+                piece += b"\x00" * (n - len(piece))
+            out += piece
+        yield from self._copy_cost(length)
+        return bytes(out)
+
+    def _prefetch_one(self, ino: int, index: int) -> SimGen:
+        fc = self._file(ino)
+        if fc.tree.get(index) is not None:
+            return
+        try:
+            yield from self._fetch(ino, index)
+        except Exception:
+            pass  # prefetch failures surface on the demand read
+
+    def write(self, ino: int, offset: int, data: bytes,
+              old_size: int) -> SimGen:
+        """Write-back write. ``old_size`` is the file size before this write
+        (to decide whether a partial entry needs read-modify-write)."""
+        pos = 0
+        for idx, off, n in self.prt.chunk_range(offset, len(data)):
+            piece = data[pos : pos + n]
+            pos += n
+            entry_base = idx * self.entry_size
+            covers_existing = off == 0 and entry_base + n >= min(
+                old_size, entry_base + self.entry_size
+            )
+            entry = yield from self._get_entry(
+                ino, idx, fetch=not covers_existing and entry_base < old_size
+            )
+            if len(entry.data) < off:
+                entry.data += b"\x00" * (off - len(entry.data))
+            entry.data[off : off + n] = piece
+            entry.dirty = True
+        yield from self._copy_cost(len(data))
+
+    def flush(self, ino: int) -> SimGen:
+        """Write every dirty entry of a file back to object storage,
+        ``writeback_parallel`` PUTs at a time."""
+        fc = self._files.get(ino)
+        if fc is None:
+            return
+        batch = []
+        for idx, entry in list(fc.tree.items()):
+            if entry.loading is not None:
+                yield entry.loading
+            if entry.dirty:
+                batch.append(entry)
+            if len(batch) >= self.writeback_parallel:
+                yield self.sim.all_of([
+                    self.sim.process(self._writeback(ino, e)) for e in batch])
+                batch = []
+        if batch:
+            yield self.sim.all_of([
+                self.sim.process(self._writeback(ino, e)) for e in batch])
+
+    def flush_all(self) -> SimGen:
+        for ino in list(self._files):
+            yield from self.flush(ino)
+
+    def invalidate(self, ino: int, flush_dirty: bool = True) -> SimGen:
+        """Drop a file's entries (read/write lease revocation path)."""
+        fc = self._files.pop(ino, None)
+        if fc is None:
+            return
+        for idx, entry in list(fc.tree.items()):
+            if entry.loading is not None:
+                yield entry.loading
+            if entry.dirty and flush_dirty:
+                yield from self._writeback(ino, entry)
+            self._lru.pop((ino, idx), None)
+
+    def drop_all(self) -> SimGen:
+        """Flush and drop everything (e.g. fio's cache drop between phases)."""
+        for ino in list(self._files):
+            yield from self.invalidate(ino)
+
+    def discard_all(self) -> None:
+        """Crash: lose every cached byte, dirty or not."""
+        self._files.clear()
+        self._lru.clear()
+
+    # -- introspection ------------------------------------------------------------
+
+    def cached_entries(self, ino: int) -> int:
+        fc = self._files.get(ino)
+        return len(fc.tree) if fc else 0
+
+    def has_dirty(self, ino: int) -> bool:
+        fc = self._files.get(ino)
+        if fc is None:
+            return False
+        return any(e.dirty for _, e in fc.tree.items())
+
+    @property
+    def total_entries(self) -> int:
+        return len(self._lru)

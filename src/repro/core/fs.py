@@ -1,0 +1,113 @@
+"""ArkFS cluster assembly.
+
+Wires together the pieces the paper's Figure 2 shows: an object-storage
+backend (RADOS-like or S3-like), a lease manager on one node, and N client
+nodes each running an :class:`~repro.core.client.ArkFSClient` (optionally
+behind a FUSE mount model — ArkFS is implemented with FUSE, so benchmarks
+mount it that way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..objectstore.base import ObjectStore
+from ..objectstore.cluster import ClusterObjectStore
+from ..objectstore.memory import InMemoryObjectStore
+from ..objectstore.profiles import RADOS_PROFILE, StoreProfile
+from ..posix.fuse import FUSE_DEFAULTS, FuseMount, MountParams
+from ..posix.types import FileType
+from ..sim.engine import Simulator
+from ..sim.network import NetParams, Network, Node
+from .client import ArkFSClient
+from .lease import LeaseManager, LeaseManagerCluster
+from .params import ArkFSParams, DEFAULT_PARAMS
+from .prt import PRT
+from .types import Inode, InoAllocator, ROOT_INO
+
+__all__ = ["ArkFSCluster", "build_arkfs", "mkfs"]
+
+
+def mkfs(sim: Simulator, store: ObjectStore, mode: int = 0o777) -> None:
+    """Initialize an empty file system: write the root directory inode."""
+    root = Inode(ino=ROOT_INO, ftype=FileType.DIRECTORY, mode=mode,
+                 uid=0, gid=0, atime=sim.now, mtime=sim.now, ctime=sim.now)
+    sim.run_process(store.put(PRT.key_inode(ROOT_INO), root.to_bytes()),
+                    name="mkfs")
+
+
+@dataclass
+class ArkFSCluster:
+    """A built ArkFS deployment: clients, mounts, manager, and the backend."""
+
+    sim: Simulator
+    net: Network
+    store: ObjectStore
+    prt: PRT
+    params: ArkFSParams
+    lease_manager: LeaseManager          # the first (or only) manager
+    lease_service: object = None         # LeaseManager or LeaseManagerCluster
+    clients: List[ArkFSClient] = field(default_factory=list)
+    mounts: List[FuseMount] = field(default_factory=list)
+
+    def client(self, i: int = 0) -> ArkFSClient:
+        return self.clients[i]
+
+    def mount(self, i: int = 0) -> FuseMount:
+        """The FUSE mount view of client ``i`` (what applications use)."""
+        return self.mounts[i]
+
+
+def build_arkfs(
+    sim: Simulator,
+    n_clients: int = 1,
+    params: ArkFSParams = DEFAULT_PARAMS,
+    store: Optional[ObjectStore] = None,
+    store_profile: Optional[StoreProfile] = None,
+    net_params: Optional[NetParams] = None,
+    mount_params: MountParams = FUSE_DEFAULTS,
+    client_cores: int = 32,
+    functional: bool = False,
+    seed: int = 0,
+    n_lease_managers: int = 1,
+) -> ArkFSCluster:
+    """Build a full ArkFS cluster.
+
+    ``functional=True`` uses the zero-latency in-memory store (for semantic
+    tests); otherwise a :class:`ClusterObjectStore` with ``store_profile``
+    (RADOS-like by default). The lease manager is deployed on one of the
+    client nodes, as in the paper's evaluation setup.
+    """
+    net = Network(sim, net_params or NetParams())
+    if store is None:
+        if functional:
+            store = InMemoryObjectStore(sim)
+        else:
+            store = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
+                                       net=net)
+    prt = PRT(store, params.data_object_size)
+    mkfs(sim, store)
+
+    if n_lease_managers <= 1:
+        mgr_node = Node(sim, "lease-mgr", cores=4, net=net)
+        service = LeaseManager(sim, mgr_node, params)
+        first = service
+    else:
+        # The paper's future-work extension: a hash-partitioned manager
+        # cluster (see LeaseManagerCluster).
+        mgr_nodes = [Node(sim, f"lease-mgr{i}", cores=4, net=net)
+                     for i in range(n_lease_managers)]
+        service = LeaseManagerCluster(sim, mgr_nodes, params)
+        first = service.managers[0]
+
+    alloc = InoAllocator(seed=seed)
+    cluster = ArkFSCluster(sim=sim, net=net, store=store, prt=prt,
+                           params=params, lease_manager=first,
+                           lease_service=service)
+    for i in range(n_clients):
+        node = Node(sim, f"client{i}", cores=client_cores, net=net)
+        client = ArkFSClient(sim, node, prt, params, service, alloc)
+        cluster.clients.append(client)
+        cluster.mounts.append(FuseMount(client, node, mount_params))
+    return cluster

@@ -1,0 +1,384 @@
+"""Per-directory journaling with compound transactions (Section III-E).
+
+Each directory a client leads gets its own journal in the object store
+(``j<dir-uuid>/<seq>`` objects), so journal commits for independent
+directories proceed in parallel. Metadata modifications accumulate in an
+in-memory *running* transaction for up to ``journal_commit_interval``
+seconds (1 s by default); commit threads then write the compound
+transaction to the journal, and checkpoint threads apply it to the base
+``i``/``e`` objects and invalidate the journal entry. Journals are
+statically mapped to commit/checkpoint threads by directory inode number.
+
+Cross-directory operations (RENAME) use two-phase commit: a *prepare*
+transaction is force-committed in each participant journal, then a decision
+record (``t<txid>``) is atomically created; recovery resolves prepared
+transactions against the decision record, writing an "abort" decision with
+an exclusive create if none exists (so a crashed coordinator cannot leave
+participants in doubt forever).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.engine import Interrupt, SimGen, Simulator
+from ..sim.network import Node
+from ..sim.resources import Mutex
+from .params import ArkFSParams
+from .prt import PRT
+from .types import Dentry, Inode, ino_hex
+
+__all__ = ["JournalOp", "Transaction", "JournalManager", "apply_ops",
+           "ops_put_inode", "ops_del_inode", "ops_put_dentry", "ops_del_dentry"]
+
+JournalOp = Dict[str, Any]
+
+
+# -- op record constructors ---------------------------------------------------
+
+def ops_put_inode(inode: Inode) -> JournalOp:
+    return {"op": "put_inode", "inode": inode.to_dict()}
+
+
+def ops_del_inode(ino: int) -> JournalOp:
+    return {"op": "del_inode", "ino": ino_hex(ino)}
+
+
+def ops_put_dentry(dir_ino: int, dentry: Dentry) -> JournalOp:
+    return {"op": "put_dentry", "dir": ino_hex(dir_ino), "dentry": dentry.to_dict()}
+
+
+def ops_del_dentry(dir_ino: int, name: str) -> JournalOp:
+    return {"op": "del_dentry", "dir": ino_hex(dir_ino), "name": name}
+
+
+def _coalesce(ops: List[JournalOp]) -> List[JournalOp]:
+    """Final-state coalescing: within one transaction only the last action
+    per object matters (this is what makes compound transactions cheap)."""
+    final: Dict[Tuple, JournalOp] = {}
+    for op in ops:
+        kind = op["op"]
+        if kind in ("put_inode",):
+            key = ("i", op["inode"]["ino"])
+        elif kind == "del_inode":
+            key = ("i", op["ino"])
+        elif kind == "put_dentry":
+            key = ("e", op["dir"], op["dentry"]["n"])
+        elif kind == "del_dentry":
+            key = ("e", op["dir"], op["name"])
+        else:
+            raise ValueError(f"unknown journal op {kind!r}")
+        final[key] = op
+    return list(final.values())
+
+
+def apply_ops(prt: PRT, ops: List[JournalOp],
+              src: Optional[Node] = None) -> SimGen:
+    """Apply (checkpoint/replay) journal ops to the base objects.
+
+    Idempotent: ops carry full state, deletes tolerate absence — replaying
+    a transaction any number of times converges to the same store state.
+    """
+    for op in _coalesce(ops):
+        kind = op["op"]
+        if kind == "put_inode":
+            yield from prt.put_inode(Inode.from_dict(op["inode"]), src=src)
+        elif kind == "del_inode":
+            yield from prt.delete_inode(int(op["ino"], 16), src=src)
+        elif kind == "put_dentry":
+            yield from prt.put_dentry(int(op["dir"], 16),
+                                      Dentry.from_dict(op["dentry"]), src=src)
+        elif kind == "del_dentry":
+            yield from prt.delete_dentry(int(op["dir"], 16), op["name"], src=src)
+
+
+class Transaction:
+    """A committed (on-storage) journal transaction."""
+
+    __slots__ = ("txid", "dir_ino", "kind", "ops", "decision_key", "seq")
+
+    def __init__(self, txid: str, dir_ino: int, kind: str,
+                 ops: List[JournalOp], decision_key: Optional[str] = None,
+                 seq: int = -1):
+        self.txid = txid
+        self.dir_ino = dir_ino
+        self.kind = kind  # "update" | "prepare"
+        self.ops = ops
+        self.decision_key = decision_key
+        self.seq = seq
+
+    def to_bytes(self) -> bytes:
+        d = {"txid": self.txid, "dir": ino_hex(self.dir_ino),
+             "kind": self.kind, "ops": self.ops}
+        if self.decision_key:
+            d["decision"] = self.decision_key
+        return json.dumps(d, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, seq: int = -1) -> "Transaction":
+        d = json.loads(raw)
+        return cls(txid=d["txid"], dir_ino=int(d["dir"], 16), kind=d["kind"],
+                   ops=d["ops"], decision_key=d.get("decision"), seq=seq)
+
+
+class _DirJournal:
+    """In-memory state of one directory's journal at its current leader."""
+
+    __slots__ = ("dir_ino", "running", "next_seq", "pending_seqs",
+                 "commit_lock", "ckpt_lock", "ops_recorded", "ops_committed")
+
+    def __init__(self, sim: Simulator, dir_ino: int):
+        self.dir_ino = dir_ino
+        self.running: List[JournalOp] = []
+        self.next_seq = 0
+        # Group-commit bookkeeping: a flush only needs ops recorded *before*
+        # it was called to become durable; concurrent flushes share commits.
+        self.ops_recorded = 0
+        self.ops_committed = 0
+        # seqs committed to storage but not yet checkpointed
+        self.pending_seqs: List[int] = []
+        # Commits (new journal objects) and checkpoints (applying old ones)
+        # touch disjoint objects, so they serialize independently — a slow
+        # background checkpoint must not block an fsync's commit.
+        self.commit_lock = Mutex(sim, name=f"jcommit:{dir_ino:x}")
+        self.ckpt_lock = Mutex(sim, name=f"jckpt:{dir_ino:x}")
+
+
+class JournalManager:
+    """All journals of one ArkFS client, plus its commit/checkpoint threads."""
+
+    def __init__(self, sim: Simulator, prt: PRT, params: ArkFSParams,
+                 node: Node, client_name: str):
+        self.sim = sim
+        self.prt = prt
+        self.params = params
+        self.node = node
+        self.client_name = client_name
+        self.journals: Dict[int, _DirJournal] = {}
+        self._txn_counter = 0
+        self._threads: List = []
+        self._stopped = False
+        self.commits = 0        # committed transactions (stats)
+        self.checkpoints = 0
+        # (dir_ino, seq) -> committed txn awaiting checkpoint
+        self._checkpoint_txns: Dict[Tuple[int, int], Transaction] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_threads(self) -> None:
+        """Spawn the background commit threads (one pipeline per thread id;
+        each also checkpoints what it commits, preserving per-dir order)."""
+        for tid in range(self.params.n_commit_threads):
+            p = self.sim.process(self._commit_loop(tid),
+                                 name=f"{self.client_name}.journal{tid}")
+            self._threads.append(p)
+
+    def stop(self) -> None:
+        """Abrupt stop (client crash): running transactions are lost, and
+        committed-but-unapplied journal objects stay for recovery."""
+        self._stopped = True
+        for p in self._threads:
+            p.interrupt("stop")
+        self._threads.clear()
+
+    def _commit_loop(self, tid: int) -> SimGen:
+        interval = self.params.journal_commit_interval or 1.0
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(interval)
+                for dir_ino in list(self.journals):
+                    if dir_ino % self.params.n_commit_threads != tid:
+                        continue
+                    dj = self.journals.get(dir_ino)
+                    if dj is None or not (dj.running or dj.pending_seqs):
+                        continue
+                    yield from self._commit_and_checkpoint(dj)
+        except Interrupt:
+            return
+
+    # -- recording ------------------------------------------------------------
+
+    def _journal_key(self, dir_ino: int) -> int:
+        # Ablation A1: a single shared journal serializes every commit.
+        return 0 if self.params.single_journal else dir_ino
+
+    def journal_for(self, dir_ino: int) -> _DirJournal:
+        key = self._journal_key(dir_ino)
+        dj = self.journals.get(key)
+        if dj is None:
+            dj = _DirJournal(self.sim, key)
+            self.journals[key] = dj
+        return dj
+
+    def record(self, dir_ino: int, *ops: JournalOp) -> None:
+        """Append ops to the directory's running compound transaction."""
+        if self._stopped:
+            return
+        dj = self.journal_for(dir_ino)
+        dj.running.extend(ops)
+        dj.ops_recorded += len(ops)
+
+    @property
+    def sync_commit(self) -> bool:
+        """Ablation A2: commit every op immediately (no 1 s compounding)."""
+        return self.params.journal_commit_interval <= 0
+
+    def is_dirty(self, dir_ino: int) -> bool:
+        dj = self.journals.get(self._journal_key(dir_ino))
+        return bool(dj and (dj.running or dj.pending_seqs))
+
+    def new_txid(self) -> str:
+        self._txn_counter += 1
+        return f"{self.client_name}-{self._txn_counter:08d}"
+
+    # -- commit / checkpoint ------------------------------------------------------
+
+    def _commit_locked(self, dj: _DirJournal) -> SimGen:
+        """Running txn -> durable journal object (the commit thread's job)."""
+        if not dj.running:
+            return
+        ops, dj.running = dj.running, []
+        covered = dj.ops_recorded  # everything recorded so far is in `ops`
+        seq = dj.next_seq
+        dj.next_seq += 1
+        txn = Transaction(self.new_txid(), dj.dir_ino, "update",
+                          _coalesce(ops))
+        yield from self.prt.store.put(
+            self.prt.key_journal(dj.dir_ino, seq), txn.to_bytes(),
+            src=self.node)
+        dj.pending_seqs.append(seq)
+        dj.ops_committed = covered
+        self.commits += 1
+        self._checkpoint_txns[(dj.dir_ino, seq)] = txn
+
+    def _checkpoint_locked(self, dj: _DirJournal) -> SimGen:
+        """Apply committed txns to the base objects and invalidate them
+        (the checkpoint thread's job), oldest first."""
+        while dj.pending_seqs:
+            seq = dj.pending_seqs[0]
+            txn = self._checkpoint_txns.get((dj.dir_ino, seq))
+            if txn is None:
+                break
+            yield from apply_ops(self.prt, txn.ops, src=self.node)
+            try:
+                yield from self.prt.store.delete(
+                    self.prt.key_journal(dj.dir_ino, seq), src=self.node)
+            except Exception:
+                pass
+            dj.pending_seqs.pop(0)
+            del self._checkpoint_txns[(dj.dir_ino, seq)]
+            self.checkpoints += 1
+
+    def _commit_and_checkpoint(self, dj: _DirJournal) -> SimGen:
+        req = dj.commit_lock.request()
+        yield req
+        try:
+            yield from self._commit_locked(dj)
+        finally:
+            dj.commit_lock.release(req)
+        yield from self._bg_checkpoint(dj)
+
+    def _bg_checkpoint(self, dj: _DirJournal) -> SimGen:
+        req = dj.ckpt_lock.request()
+        yield req
+        try:
+            yield from self._checkpoint_locked(dj)
+        finally:
+            dj.ckpt_lock.release(req)
+
+    def flush(self, dir_ino: int, full: bool = False) -> SimGen:
+        """Make a directory's modifications durable (fsync semantics).
+
+        Committing the compound transaction to the journal object is all
+        durability requires; the checkpoint to base objects proceeds in the
+        background unless ``full=True`` (lease hand-off / release, which
+        must leave the journal empty)."""
+        dj = self.journals.get(self._journal_key(dir_ino))
+        if dj is None:
+            return
+        # Group commit: this flush is satisfied once every op recorded
+        # before it was issued is durable. While another flush's commit is
+        # in flight, wait on the lock and re-check — a burst of concurrent
+        # fsyncs on one directory shares one or two journal PUTs instead of
+        # serializing one PUT each.
+        target = dj.ops_recorded
+        while dj.ops_committed < target:
+            req = dj.commit_lock.request()
+            yield req
+            try:
+                if dj.ops_committed < target:
+                    yield from self._commit_locked(dj)
+            finally:
+                dj.commit_lock.release(req)
+        if full:
+            yield from self._bg_checkpoint(dj)
+        elif dj.pending_seqs:
+            self.sim.process(self._bg_checkpoint(dj),
+                             name=f"ckpt:{dj.dir_ino:x}")
+
+    def flush_all(self, full: bool = False) -> SimGen:
+        """Flush every journal; directories flush in parallel — that is the
+        point of per-directory journaling ("multiple journals allow
+        parallel commits")."""
+        dirs = list(self.journals)
+        if not dirs:
+            return
+        if len(dirs) == 1:
+            yield from self.flush(dirs[0], full=full)
+            return
+        procs = [self.sim.process(self.flush(d, full=full),
+                                  name=f"flush:{d:x}") for d in dirs]
+        yield self.sim.all_of(procs)
+
+    def drop(self, dir_ino: int) -> None:
+        """Forget a (fully flushed) journal, e.g. after releasing the lease."""
+        if self.params.single_journal:
+            return  # the shared journal outlives individual directories
+        dj = self.journals.pop(dir_ino, None)
+        if dj is not None and (dj.running or dj.pending_seqs):
+            raise RuntimeError("dropping a dirty journal")
+
+    # -- two-phase commit (cross-directory RENAME) ----------------------------------
+
+    def prepare(self, dir_ino: int, txid: str, ops: List[JournalOp],
+                decision_key: str) -> SimGen:
+        """Force-commit a PREPARE transaction for this participant.
+
+        Returns the journal seq so the participant can finish it later.
+        Any buffered running ops are committed first to preserve ordering.
+        """
+        dj = self.journal_for(dir_ino)
+        yield from self._commit_and_checkpoint(dj)  # drain older state
+        req = dj.commit_lock.request()
+        yield req
+        try:
+            seq = dj.next_seq
+            dj.next_seq += 1
+            txn = Transaction(txid, dir_ino, "prepare", _coalesce(ops),
+                              decision_key=decision_key)
+            yield from self.prt.store.put(
+                self.prt.key_journal(dir_ino, seq), txn.to_bytes(),
+                src=self.node)
+            self.commits += 1
+            return seq
+        finally:
+            dj.commit_lock.release(req)
+
+    def finish_prepared(self, dir_ino: int, seq: int, ops: List[JournalOp],
+                        commit: bool) -> SimGen:
+        """Checkpoint (commit=True) or discard (commit=False) a prepared txn."""
+        dj = self.journal_for(dir_ino)
+        req = dj.ckpt_lock.request()
+        yield req
+        try:
+            if commit:
+                yield from apply_ops(self.prt, ops, src=self.node)
+                self.checkpoints += 1
+            try:
+                yield from self.prt.store.delete(
+                    self.prt.key_journal(dir_ino, seq), src=self.node)
+            except Exception:
+                pass
+        finally:
+            dj.ckpt_lock.release(req)

@@ -1,0 +1,252 @@
+"""Directory lease management (Section III-B).
+
+A single lease manager issues per-directory leases first-come-first-served.
+The holder of a directory's lease (its *directory leader*) is the only party
+allowed to modify that directory's metadata; other clients are redirected to
+the leader. Re-acquisition by the same leader before expiry is an
+*extension* — the leader's metatable stays valid and need not be reloaded.
+
+Fault handling (Section III-E):
+
+* If a lease expires without a clean release, the next grant carries
+  ``needs_recovery`` and is *fenced*: the manager makes requesters wait one
+  full lease period past the expiry so read/write leases issued by the dead
+  leader have lapsed, then lets the new leader replay the journal; other
+  clients wait until the new leader reports recovery complete.
+* If the manager itself crashes, a restart refuses all grants for one lease
+  period (so no two clients can ever believe they lead the same directory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.engine import SimGen, Simulator
+from ..sim.network import Node
+from .params import ArkFSParams
+
+__all__ = ["LeaseGrant", "LeaseManager", "LeaseRedirect", "LeaseWait"]
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """A successful acquire/extend."""
+
+    dir_ino: int
+    expires_at: float
+    epoch: int
+    fresh: bool            # True: must (re)load the metatable from storage
+    needs_recovery: bool   # True: scan/replay the journal before serving
+
+
+@dataclass(frozen=True)
+class LeaseRedirect:
+    """Someone else leads this directory — send them your requests."""
+
+    dir_ino: int
+    leader: str            # node name of the current leader
+    expires_at: float
+
+
+@dataclass(frozen=True)
+class LeaseWait:
+    """Try again later (fencing or recovery in progress)."""
+
+    dir_ino: int
+    retry_at: float
+    reason: str
+
+
+@dataclass
+class _LeaseState:
+    holder: Optional[str] = None
+    expires_at: float = 0.0
+    epoch: int = 0
+    clean: bool = True          # released (or never held) cleanly
+    recovering_by: Optional[str] = None
+    fence_until: float = 0.0
+
+
+class LeaseManager:
+    """The cluster's (single) lease manager service.
+
+    Runs on ``node``; clients reach it through RPC methods ``lease.acquire``,
+    ``lease.release`` and ``lease.recovered``. All handlers are cheap
+    ("acquiring/extending a lease is a very lightweight operation").
+    """
+
+    def __init__(self, sim: Simulator, node: Node, params: ArkFSParams):
+        self.sim = sim
+        self.node = node
+        self.params = params
+        self.leases: Dict[int, _LeaseState] = {}
+        self._boot_time = sim.now
+        self._restarted = False  # the startup gate applies only to restarts
+        self.stats = {"acquire": 0, "extend": 0, "redirect": 0, "release": 0,
+                      "wait": 0, "recovery_grants": 0}
+        node.register("lease.acquire", self._h_acquire)
+        node.register("lease.release", self._h_release)
+        node.register("lease.recovered", self._h_recovered)
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        self.node.crash()
+
+    def restart(self) -> None:
+        """Restart with empty state; refuse grants for one lease period."""
+        self.node.restart()
+        self.leases.clear()
+        self._boot_time = self.sim.now
+        self._restarted = True
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _work(self) -> SimGen:
+        yield from self.node.work(self.params.lease_op_cpu)
+
+    def _h_acquire(self, dir_ino: int, client: str) -> SimGen:
+        yield from self._work()
+        now = self.sim.now
+        startup_gate = self._boot_time + self.params.lease_period
+        if self._restarted and now < startup_gate:
+            # Freshly restarted manager: old leases may still be live.
+            self.stats["wait"] += 1
+            return LeaseWait(dir_ino, startup_gate, "manager-restarted")
+        st = self.leases.setdefault(dir_ino, _LeaseState())
+
+        if st.recovering_by is not None:
+            if st.recovering_by == client:
+                # The recovering leader re-extends its claim.
+                st.expires_at = now + self.params.lease_period
+                return LeaseGrant(dir_ino, st.expires_at, st.epoch,
+                                  fresh=False, needs_recovery=True)
+            self.stats["wait"] += 1
+            return LeaseWait(dir_ino, st.expires_at, "recovery-in-progress")
+
+        if st.holder is not None and st.expires_at > now:
+            if st.holder == client:
+                # Extension: metatable remains valid.
+                st.expires_at = now + self.params.lease_period
+                self.stats["extend"] += 1
+                return LeaseGrant(dir_ino, st.expires_at, st.epoch,
+                                  fresh=False, needs_recovery=False)
+            self.stats["redirect"] += 1
+            return LeaseRedirect(dir_ino, st.holder, st.expires_at)
+
+        # Lease is free or expired.
+        crashed = st.holder is not None and not st.clean
+        if crashed:
+            fence = st.expires_at + self.params.lease_period
+            if now < fence:
+                # Fencing: let the dead leader's file read/write leases lapse.
+                self.stats["wait"] += 1
+                return LeaseWait(dir_ino, fence, "fencing-crashed-leader")
+
+        same_leader_continuation = (
+            st.holder == client and st.clean and st.expires_at > 0
+        )
+        st.holder = client
+        st.epoch += 1
+        st.expires_at = now + self.params.lease_period
+        st.clean = False  # held; only a release makes it clean again
+        self.stats["acquire"] += 1
+        if crashed:
+            st.recovering_by = client
+            self.stats["recovery_grants"] += 1
+            return LeaseGrant(dir_ino, st.expires_at, st.epoch, fresh=True,
+                              needs_recovery=True)
+        # A lapsed-but-cleanly-flushed previous holder still reloads: its
+        # in-memory metatable "might be out-of-date" (Section III-B) —
+        # unless it never lost the lease (extension handled above).
+        del same_leader_continuation
+        return LeaseGrant(dir_ino, st.expires_at, st.epoch, fresh=True,
+                          needs_recovery=False)
+
+    def _h_release(self, dir_ino: int, client: str, clean: bool) -> SimGen:
+        yield from self._work()
+        st = self.leases.get(dir_ino)
+        if st is None or st.holder != client:
+            return False
+        st.holder = None if clean else st.holder
+        st.clean = clean
+        st.expires_at = self.sim.now if clean else st.expires_at
+        st.recovering_by = None
+        self.stats["release"] += 1
+        return True
+
+    def _h_recovered(self, dir_ino: int, client: str) -> SimGen:
+        """The recovering leader finished journal replay; renew its lease."""
+        yield from self._work()
+        st = self.leases.get(dir_ino)
+        if st is None or st.recovering_by != client:
+            return False
+        st.recovering_by = None
+        st.clean = False
+        st.holder = client
+        st.expires_at = self.sim.now + self.params.lease_period
+        return True
+
+    # -- introspection (tests) ---------------------------------------------------
+
+    def holder_of(self, dir_ino: int) -> Optional[str]:
+        st = self.leases.get(dir_ino)
+        if st is None or st.expires_at <= self.sim.now:
+            return None
+        return st.holder
+
+    # -- routing interface (shared with LeaseManagerCluster) ------------------
+
+    def node_for(self, dir_ino: int) -> Node:
+        return self.node
+
+
+class LeaseManagerCluster:
+    """Distributed lease coordination — the paper's stated future work.
+
+    "A single lease manager may become a performance bottleneck in certain
+    situations and it would be beneficial to implement distributed
+    coordination using a cluster of lease managers. We leave this as future
+    work." (Section III-B.)
+
+    Directories are hash-partitioned across N independent managers; a
+    directory's lease state lives at exactly one manager, so no agreement
+    protocol between managers is needed — each inherits the single-manager
+    semantics (FCFS, fencing, recovery coordination) for its shard.
+    """
+
+    def __init__(self, sim: Simulator, nodes, params: ArkFSParams):
+        if not nodes:
+            raise ValueError("need at least one manager node")
+        self.sim = sim
+        self.params = params
+        self.managers = [LeaseManager(sim, node, params) for node in nodes]
+
+    def shard_of(self, dir_ino: int) -> LeaseManager:
+        import zlib
+
+        h = zlib.crc32(f"{dir_ino:032x}".encode())
+        return self.managers[h % len(self.managers)]
+
+    def node_for(self, dir_ino: int) -> Node:
+        return self.shard_of(dir_ino).node
+
+    def holder_of(self, dir_ino: int) -> Optional[str]:
+        return self.shard_of(dir_ino).holder_of(dir_ino)
+
+    def crash(self) -> None:
+        for m in self.managers:
+            m.crash()
+
+    def restart(self) -> None:
+        for m in self.managers:
+            m.restart()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for m in self.managers:
+            for k, v in m.stats.items():
+                out[k] = out.get(k, 0) + v
+        return out

@@ -1,0 +1,162 @@
+"""Radix tree indexing cached data objects (Section III-D).
+
+The paper: "Internally, the radix tree is used to index cached data objects.
+Due to the large cache entry size, it is very likely to have a shallow depth
+allowing for faster lookups." Keys are non-negative object indices within a
+file; fanout is 64 (6 bits/level), so files up to 128 GiB of 2 MiB objects
+need at most 3 levels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["RadixTree"]
+
+_BITS = 6
+_FANOUT = 1 << _BITS
+_MASK = _FANOUT - 1
+
+
+class _Node:
+    __slots__ = ("slots", "count")
+
+    def __init__(self) -> None:
+        self.slots: List[Optional[Any]] = [None] * _FANOUT
+        self.count = 0
+
+
+class RadixTree:
+    """A radix tree mapping small non-negative integers to values.
+
+    Grows its height lazily as larger keys are inserted; shrinks on delete.
+    ``None`` is not a storable value (it marks empty slots).
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._height = 0        # number of levels; 0 = empty tree
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @staticmethod
+    def _levels_for(key: int) -> int:
+        levels = 1
+        while key >> (_BITS * levels):
+            levels += 1
+        return levels
+
+    def _grow_to(self, levels: int) -> None:
+        while self._height < levels:
+            node = _Node()
+            if self._root is not None:
+                node.slots[0] = self._root
+                node.count = 1
+            self._root = node
+            self._height += 1
+
+    def set(self, key: int, value: Any) -> None:
+        if key < 0:
+            raise ValueError("radix tree keys must be non-negative")
+        if value is None:
+            raise ValueError("cannot store None in a radix tree")
+        self._grow_to(self._levels_for(key))
+        if self._root is None:
+            self._root = _Node()
+            self._height = 1
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            idx = (key >> (_BITS * level)) & _MASK
+            child = node.slots[idx]
+            if child is None:
+                child = _Node()
+                node.slots[idx] = child
+                node.count += 1
+            node = child
+        idx = key & _MASK
+        if node.slots[idx] is None:
+            node.count += 1
+            self._size += 1
+        node.slots[idx] = value
+
+    def get(self, key: int) -> Optional[Any]:
+        if key < 0 or self._root is None:
+            return None
+        if self._levels_for(key) > self._height:
+            return None
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            node = node.slots[(key >> (_BITS * level)) & _MASK]
+            if node is None:
+                return None
+        return node.slots[key & _MASK]
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        if key < 0 or self._root is None or self._levels_for(key) > self._height:
+            return False
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            idx = (key >> (_BITS * level)) & _MASK
+            child = node.slots[idx]
+            if child is None:
+                return False
+            path.append((node, idx))
+            node = child
+        idx = key & _MASK
+        if node.slots[idx] is None:
+            return False
+        node.slots[idx] = None
+        node.count -= 1
+        self._size -= 1
+        # Prune empty nodes bottom-up.
+        for parent, pidx in reversed(path):
+            child = parent.slots[pidx]
+            if isinstance(child, _Node) and child.count == 0:
+                parent.slots[pidx] = None
+                parent.count -= 1
+            else:
+                break
+        if self._size == 0:
+            self._root = None
+            self._height = 0
+        return True
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All (key, value) pairs in ascending key order."""
+        if self._root is None:
+            return
+        yield from self._walk(self._root, self._height - 1, 0)
+
+    def keys(self) -> Iterator[int]:
+        for k, _ in self.items():
+            yield k
+
+    def _walk(self, node: _Node, level: int, prefix: int) -> Iterator[Tuple[int, Any]]:
+        for idx in range(_FANOUT):
+            slot = node.slots[idx]
+            if slot is None:
+                continue
+            key = (prefix << _BITS) | idx
+            if level == 0:
+                yield key, slot
+            else:
+                yield from self._walk(slot, level - 1, key)
+
+    def clear(self) -> None:
+        self._root = None
+        self._height = 0
+        self._size = 0

@@ -1,0 +1,97 @@
+"""Crash recovery (Section III-E).
+
+When a client acquires a directory's lease and finds transactions still in
+the per-directory journal, the previous leader crashed before checkpointing.
+The new leader replays the journal in sequence order:
+
+* ``update`` transactions are applied unconditionally (they were committed —
+  i.e. durable — before the crash; application is idempotent),
+* ``prepare`` transactions (2PC rename participants) are resolved against
+  their decision record: if the coordinator managed to create a "commit"
+  decision the ops are applied; otherwise the recovering leader *writes an
+  abort decision itself* with an atomic exclusive create, so a coordinator
+  racing with recovery can never flip the outcome afterwards.
+
+Journal objects are deleted as they are resolved, leaving the directory
+clean for the new leader's metatable load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..objectstore.errors import NoSuchKey
+from ..sim.engine import SimGen
+from ..sim.network import Node
+from .journal import Transaction, apply_ops
+from .prt import PRT
+
+__all__ = ["scan_journal", "resolve_decision", "recover_directory"]
+
+DECISION_COMMIT = b"commit"
+DECISION_ABORT = b"abort"
+
+
+def scan_journal(prt: PRT, dir_ino: int,
+                 src: Optional[Node] = None) -> SimGen:
+    """Read every committed transaction of a directory, in seq order.
+
+    Returns ``[(seq, Transaction), ...]``. Unparseable (torn) journal
+    objects are skipped: an interrupted journal PUT never made its
+    transaction durable in the first place.
+    """
+    prefix = prt.key_journal_prefix(dir_ino)
+    keys = yield from prt.store.list(prefix, src=src)
+    txns: List[Tuple[int, Transaction]] = []
+    for key in keys:  # keys sort by zero-padded seq
+        seq = int(key[len(prefix):])
+        try:
+            raw = yield from prt.store.get(key, src=src)
+            txns.append((seq, Transaction.from_bytes(raw, seq=seq)))
+        except (NoSuchKey, ValueError, KeyError):
+            continue
+    return txns
+
+
+def resolve_decision(prt: PRT, decision_key: str,
+                     src: Optional[Node] = None) -> SimGen:
+    """Determine a prepared transaction's fate; forces "abort" if undecided."""
+    try:
+        value = yield from prt.store.get(decision_key, src=src)
+        return value == DECISION_COMMIT
+    except NoSuchKey:
+        pass
+    won = yield from prt.store.put_if_absent(decision_key, DECISION_ABORT,
+                                             src=src)
+    if won:
+        return False
+    value = yield from prt.store.get(decision_key, src=src)
+    return value == DECISION_COMMIT
+
+
+def recover_directory(prt: PRT, dir_ino: int,
+                      src: Optional[Node] = None) -> SimGen:
+    """Bring a crashed directory up to date; returns counts for telemetry.
+
+    Idempotent: re-running (e.g. the recovering leader itself crashes
+    mid-replay) converges to the same state, because ops carry full state
+    and decision records are immutable once created.
+    """
+    txns = yield from scan_journal(prt, dir_ino, src=src)
+    replayed = aborted = 0
+    for seq, txn in txns:
+        if txn.kind == "update":
+            yield from apply_ops(prt, txn.ops, src=src)
+            replayed += 1
+        elif txn.kind == "prepare":
+            commit = yield from resolve_decision(prt, txn.decision_key, src=src)
+            if commit:
+                yield from apply_ops(prt, txn.ops, src=src)
+                replayed += 1
+            else:
+                aborted += 1
+        try:
+            yield from prt.store.delete(prt.key_journal(dir_ino, seq), src=src)
+        except NoSuchKey:
+            pass
+    return {"replayed": replayed, "aborted": aborted, "scanned": len(txns)}

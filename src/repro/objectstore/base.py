@@ -1,0 +1,81 @@
+"""The object-storage interface ArkFS's PRT module targets.
+
+This is the REST surface the paper assumes of "any distributed object storage
+system": flat key namespace, whole-object GET/PUT/DELETE, ranged GET, HEAD,
+and prefix LIST. All operations are simulation coroutines; implementations
+decide what they cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from ..sim.engine import SimGen
+from ..sim.network import Node
+
+__all__ = ["ObjectStore"]
+
+
+class ObjectStore(ABC):
+    """Abstract flat key-value object store.
+
+    ``src`` on each operation names the calling node so implementations can
+    charge client-side network costs; ``None`` means "do not model the client
+    network leg" (used by unit tests and by server-internal traffic).
+    """
+
+    @abstractmethod
+    def get(self, key: str, src: Optional[Node] = None) -> SimGen:
+        """Return the full object value as ``bytes``. Raises NoSuchKey."""
+
+    @abstractmethod
+    def get_range(
+        self, key: str, offset: int, length: int, src: Optional[Node] = None
+    ) -> SimGen:
+        """Return ``value[offset:offset+length]`` (ranged GET). Raises NoSuchKey."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
+        """Create or overwrite an object."""
+
+    @abstractmethod
+    def delete(self, key: str, src: Optional[Node] = None) -> SimGen:
+        """Remove an object. Raises NoSuchKey if absent."""
+
+    @abstractmethod
+    def head(self, key: str, src: Optional[Node] = None) -> SimGen:
+        """Return the object size in bytes. Raises NoSuchKey if absent."""
+
+    @abstractmethod
+    def list(self, prefix: str, src: Optional[Node] = None) -> SimGen:
+        """Return the sorted list of keys starting with ``prefix``."""
+
+    @abstractmethod
+    def put_if_absent(self, key: str, data: bytes,
+                      src: Optional[Node] = None) -> SimGen:
+        """Atomically create the object iff the key does not exist.
+
+        Returns True on creation, False if the key already existed (the
+        existing value is untouched). This is RADOS's exclusive-create /
+        S3's ``If-None-Match: *`` — ArkFS's two-phase commit uses it for
+        rename decision records."""
+
+    # -- conveniences shared by all implementations -------------------------
+
+    def exists(self, key: str, src: Optional[Node] = None) -> SimGen:
+        """HEAD-based existence check."""
+        from .errors import NoSuchKey
+
+        try:
+            yield from self.head(key, src=src)
+        except NoSuchKey:
+            return False
+        return True
+
+    def delete_prefix(self, prefix: str, src: Optional[Node] = None) -> SimGen:
+        """LIST + DELETE everything under ``prefix``; returns count removed."""
+        keys: List[str] = yield from self.list(prefix, src=src)
+        for key in keys:
+            yield from self.delete(key, src=src)
+        return len(keys)

@@ -1,0 +1,257 @@
+"""Scale-out object-store cluster with a queueing cost model.
+
+Functionally this is the :class:`InMemoryObjectStore` data plane; the value
+added here is *timing*: keys are hash-placed onto N simulated OSDs, each with
+a bounded service queue and a media bandwidth pipe, requests pay the
+profile's fixed latencies plus data-motion time, writes pay replication on
+the backend, and the client-side network leg is charged against the calling
+node's NIC. Saturation and queueing emerge from contention, which is what
+the paper's bandwidth and scalability comparisons exercise.
+
+Also provides :class:`LocalDisk`, the block-device model used for the EBS
+staging volume in the archiving workload and the S3FS disk cache.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from ..sim.engine import SimGen, Simulator
+from ..sim.network import Network, Node
+from ..sim.resources import BandwidthPipe, Resource
+from .base import ObjectStore
+from .memory import InMemoryObjectStore
+from .profiles import DiskProfile, StoreProfile
+
+__all__ = ["ClusterObjectStore", "LocalDisk"]
+
+
+class _OSD:
+    """One storage daemon: a service-slot queue plus a media pipe."""
+
+    def __init__(self, sim: Simulator, index: int, profile: StoreProfile):
+        self.index = index
+        self.queue = Resource(sim, capacity=profile.osd_queue_depth,
+                              name=f"osd{index}.q")
+        # FIFO at full rate: a lone stream gets the whole device, while the
+        # aggregate under contention still caps at media_bw.
+        self.media = BandwidthPipe(sim, profile.media_bw,
+                                   name=f"osd{index}.media")
+        self.alive = True
+
+
+class ClusterObjectStore(ObjectStore):
+    """An object store sharded over ``profile.n_osds`` simulated OSDs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: StoreProfile,
+        net: Optional[Network] = None,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.net = net
+        self.backing = InMemoryObjectStore(sim)
+        self.osds = [_OSD(sim, i, profile) for i in range(profile.n_osds)]
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._pending_creates: set = set()
+
+    # -- placement -----------------------------------------------------------
+
+    def osd_for(self, key: str) -> _OSD:
+        h = zlib.crc32(key.encode("utf-8", "surrogateescape"))
+        return self.osds[h % len(self.osds)]
+
+    def replicas_for(self, key: str) -> List[_OSD]:
+        h = zlib.crc32(key.encode("utf-8", "surrogateescape"))
+        n = len(self.osds)
+        return [self.osds[(h + i) % n] for i in range(self.profile.replication)]
+
+    def shards_for(self, key: str) -> List[_OSD]:
+        """Erasure coding: the k+m OSDs holding this object's shards."""
+        assert self.profile.erasure is not None
+        k, m = self.profile.erasure
+        h = zlib.crc32(key.encode("utf-8", "surrogateescape"))
+        n = len(self.osds)
+        return [self.osds[(h + i) % n] for i in range(k + m)]
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def _client_leg(self, src: Optional[Node], nbytes: int) -> SimGen:
+        """Charge the calling node's NIC for moving ``nbytes``; plus the
+        per-stream bandwidth cap (dominant on S3)."""
+        if src is not None and src.net is not None:
+            yield from src.nic.transfer(nbytes)
+            yield self.sim.timeout(src.net.params.latency_s)
+        if nbytes > 0 and self.profile.per_stream_bw > 0:
+            stream_time = nbytes / self.profile.per_stream_bw
+            nic_time = (
+                nbytes / src.nic.bytes_per_sec if src is not None else 0.0
+            )
+            # The stream is jointly limited by NIC and per-stream cap; the
+            # NIC leg above already billed nic_time, pay only the excess.
+            if stream_time > nic_time:
+                yield self.sim.timeout(stream_time - nic_time)
+
+    def _service(self, osd: _OSD, fixed: float, nbytes: int) -> SimGen:
+        """Occupy an OSD service slot for the request, then move data
+        through its media pipe."""
+        req = osd.queue.request()
+        yield req
+        try:
+            if fixed > 0:
+                yield self.sim.timeout(fixed)
+        finally:
+            osd.queue.release(req)
+        if nbytes > 0:
+            yield from osd.media.transfer(nbytes)
+
+    # -- operations ------------------------------------------------------------
+
+    def get(self, key: str, src: Optional[Node] = None) -> SimGen:
+        data = self.backing.sync_get(key)  # raise NoSuchKey before paying cost
+        if self.profile.erasure is not None:
+            yield from self._ec_gather(key, len(data))
+        else:
+            osd = self.osd_for(key)
+            yield from self._service(osd, self.profile.get_latency, len(data))
+        yield from self._client_leg(src, len(data))
+        self.bytes_read += len(data)
+        self.backing.op_counts["get"] += 1
+        return data
+
+    def _ec_gather(self, key: str, nbytes: int) -> SimGen:
+        """Read the k data shards in parallel and decode the stripe."""
+        k, _m = self.profile.erasure
+        shard = -(-nbytes // k)
+        reads = [
+            self.sim.process(
+                self._service(osd, self.profile.get_latency, shard),
+                name=f"ec-read{osd.index}")
+            for osd in self.shards_for(key)[:k]
+        ]
+        yield self.sim.all_of(reads)
+        yield self.sim.timeout(self.profile.ec_encode_latency)
+
+    def get_range(
+        self, key: str, offset: int, length: int, src: Optional[Node] = None
+    ) -> SimGen:
+        whole = self.backing.sync_get(key)
+        data = whole[offset : offset + length]
+        osd = self.osd_for(key)
+        yield from self._service(osd, self.profile.get_latency, len(data))
+        yield from self._client_leg(src, len(data))
+        self.bytes_read += len(data)
+        self.backing.op_counts["get"] += 1
+        return data
+
+    def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
+        yield from self._client_leg(src, len(data))
+        if self.profile.erasure is not None:
+            k, m = self.profile.erasure
+            shard = -(-len(data) // k)
+            yield self.sim.timeout(self.profile.ec_encode_latency)
+            writes = [
+                self.sim.process(
+                    self._service(osd, self.profile.put_latency, shard),
+                    name=f"ec-write{osd.index}",
+                )
+                for osd in self.shards_for(key)
+            ]
+        else:
+            # Primary-copy replication: all replicas written in parallel,
+            # the request completes when the slowest acknowledges.
+            writes = [
+                self.sim.process(
+                    self._service(osd, self.profile.put_latency, len(data)),
+                    name=f"put-replica{osd.index}",
+                )
+                for osd in self.replicas_for(key)
+            ]
+        yield self.sim.all_of(writes)
+        self.backing.sync_put(key, data)
+        self.bytes_written += len(data)
+        self.backing.op_counts["put"] += 1
+
+    def delete(self, key: str, src: Optional[Node] = None) -> SimGen:
+        self.backing.sync_head(key)  # existence check (NoSuchKey)
+        osd = self.osd_for(key)
+        yield from self._service(osd, self.profile.delete_latency, 0)
+        self.backing.sync_delete(key)
+        self.backing.op_counts["delete"] += 1
+
+    def head(self, key: str, src: Optional[Node] = None) -> SimGen:
+        size = self.backing.sync_head(key)
+        osd = self.osd_for(key)
+        yield from self._service(osd, self.profile.head_latency, 0)
+        self.backing.op_counts["head"] += 1
+        return size
+
+    def list(self, prefix: str, src: Optional[Node] = None) -> SimGen:
+        keys = self.backing.sync_list(prefix)
+        # LIST is served page by page (metadata service, not OSD media).
+        pages = max(1, -(-len(keys) // self.profile.list_page))
+        yield self.sim.timeout(pages * self.profile.list_latency)
+        self.backing.op_counts["list"] += 1
+        return keys
+
+    def put_if_absent(self, key: str, data: bytes,
+                      src: Optional[Node] = None) -> SimGen:
+        # The primary OSD arbitrates atomically. The reservation below makes
+        # the existence check and the claim a single simulation step, so two
+        # concurrent exclusive creates cannot both win.
+        if key in self.backing or key in self._pending_creates:
+            osd = self.osd_for(key)
+            yield from self._service(osd, self.profile.put_latency, 0)
+            return False
+        self._pending_creates.add(key)
+        try:
+            yield from self.put(key, data, src=src)
+        finally:
+            self._pending_creates.discard(key)
+        return True
+
+    # -- functional helpers (for tests/recovery assertions) --------------------
+
+    def usage(self):
+        """(object count, stored bytes) — feeds statfs."""
+        return self.backing.usage()
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.profile.capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.backing
+
+
+class LocalDisk:
+    """A node-local block device (EBS volume): bandwidth + per-request latency.
+
+    Used as the source/sink in the archiving scenario (the burst-buffer side)
+    and as the S3FS staging cache.
+    """
+
+    def __init__(self, sim: Simulator, profile: DiskProfile, name: str = ""):
+        self.sim = sim
+        self.profile = profile
+        self.name = name or profile.name
+        self.pipe = BandwidthPipe(sim, profile.bandwidth, name=self.name)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, nbytes: int) -> SimGen:
+        yield self.sim.timeout(self.profile.latency)
+        yield from self.pipe.transfer(nbytes)
+        self.bytes_read += nbytes
+
+    def write(self, nbytes: int) -> SimGen:
+        yield self.sim.timeout(self.profile.latency)
+        yield from self.pipe.transfer(nbytes)
+        self.bytes_written += nbytes

@@ -1,0 +1,21 @@
+"""Object-storage error types (the REST-level failures PRT must handle)."""
+
+from __future__ import annotations
+
+__all__ = ["ObjectStoreError", "NoSuchKey", "StoreUnavailable"]
+
+
+class ObjectStoreError(Exception):
+    """Base class for object-storage failures."""
+
+
+class NoSuchKey(ObjectStoreError):
+    """GET/DELETE/HEAD on a key that does not exist (HTTP 404)."""
+
+    def __init__(self, key: str):
+        super().__init__(f"no such key: {key!r}")
+        self.key = key
+
+
+class StoreUnavailable(ObjectStoreError):
+    """The backing store (or the responsible OSD) is down."""

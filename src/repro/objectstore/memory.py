@@ -1,0 +1,126 @@
+"""Zero-latency dict-backed object store.
+
+The functional reference implementation: used by unit and property tests to
+exercise ArkFS semantics without any timing model, and embedded by the
+cluster store as its actual data plane.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from ..sim.engine import SimGen, Simulator
+from ..sim.network import Node
+from .base import ObjectStore
+from .errors import NoSuchKey
+
+__all__ = ["InMemoryObjectStore"]
+
+
+class InMemoryObjectStore(ObjectStore):
+    """A flat in-memory key-value store with instantaneous operations.
+
+    Keeps a sorted key index so prefix LIST is O(log n + k) rather than a
+    full scan — mdtest-scale runs LIST frequently while building metatables.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._data: Dict[str, bytes] = {}
+        self._index: List[str] = []  # sorted keys
+        self.bytes_stored = 0
+        self.capacity_bytes = 8e12  # nominal, for statfs
+        self.op_counts: Dict[str, int] = {
+            "get": 0, "put": 0, "delete": 0, "head": 0, "list": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # -- synchronous core (shared with ClusterObjectStore) ------------------
+
+    def sync_get(self, key: str) -> bytes:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise NoSuchKey(key) from None
+
+    def sync_put(self, key: str, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"object value must be bytes, got {type(data).__name__}")
+        if key not in self._data:
+            bisect.insort(self._index, key)
+        else:
+            self.bytes_stored -= len(self._data[key])
+        self._data[key] = bytes(data)
+        self.bytes_stored += len(data)
+
+    def sync_delete(self, key: str) -> None:
+        if key not in self._data:
+            raise NoSuchKey(key)
+        self.bytes_stored -= len(self._data[key])
+        del self._data[key]
+        i = bisect.bisect_left(self._index, key)
+        del self._index[i]
+
+    def sync_head(self, key: str) -> int:
+        try:
+            return len(self._data[key])
+        except KeyError:
+            raise NoSuchKey(key) from None
+
+    def usage(self):
+        """(object count, stored bytes) — feeds statfs."""
+        return len(self._data), self.bytes_stored
+
+    def sync_list(self, prefix: str) -> List[str]:
+        lo = bisect.bisect_left(self._index, prefix)
+        hi = bisect.bisect_left(self._index, prefix + "\U0010ffff")
+        return self._index[lo:hi]
+
+    # -- coroutine interface -------------------------------------------------
+
+    def get(self, key: str, src: Optional[Node] = None) -> SimGen:
+        self.op_counts["get"] += 1
+        yield self.sim.timeout(0)
+        return self.sync_get(key)
+
+    def get_range(
+        self, key: str, offset: int, length: int, src: Optional[Node] = None
+    ) -> SimGen:
+        self.op_counts["get"] += 1
+        yield self.sim.timeout(0)
+        return self.sync_get(key)[offset : offset + length]
+
+    def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
+        self.op_counts["put"] += 1
+        yield self.sim.timeout(0)
+        self.sync_put(key, data)
+
+    def delete(self, key: str, src: Optional[Node] = None) -> SimGen:
+        self.op_counts["delete"] += 1
+        yield self.sim.timeout(0)
+        self.sync_delete(key)
+
+    def head(self, key: str, src: Optional[Node] = None) -> SimGen:
+        self.op_counts["head"] += 1
+        yield self.sim.timeout(0)
+        return self.sync_head(key)
+
+    def list(self, prefix: str, src: Optional[Node] = None) -> SimGen:
+        self.op_counts["list"] += 1
+        yield self.sim.timeout(0)
+        return self.sync_list(prefix)
+
+    def put_if_absent(self, key: str, data: bytes,
+                      src: Optional[Node] = None) -> SimGen:
+        self.op_counts["put"] += 1
+        yield self.sim.timeout(0)
+        if key in self._data:
+            return False
+        self.sync_put(key, data)
+        return True

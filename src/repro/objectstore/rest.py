@@ -1,0 +1,124 @@
+"""Pluggable REST backends — the paper's first design goal.
+
+"ArkFS provides a file system interface on top of any distributed object
+storage system by simply registering their REST APIs." This module is that
+registration surface: :class:`RestObjectStore` adapts a handful of
+user-supplied REST operation handlers (GET/PUT/DELETE/HEAD/LIST, each a
+simulation coroutine) into the :class:`~repro.objectstore.base.ObjectStore`
+interface PRT consumes, filling in derivable operations:
+
+* ranged GET falls back to whole-object GET + slice when no ``get_range``
+  handler is registered (exactly what clients of range-less stores do);
+* exclusive create falls back to HEAD + PUT when the backend has no atomic
+  conditional PUT — flagged on the store so ArkFS can refuse cross-directory
+  renames, which need the atomic decision record.
+
+See ``examples/custom_backend.py`` for ArkFS running on a user-registered
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.engine import SimGen, Simulator
+from ..sim.network import Node
+from .base import ObjectStore
+from .errors import NoSuchKey
+
+__all__ = ["RestAPIRegistry", "RestObjectStore"]
+
+Handler = Callable[..., SimGen]
+
+
+class RestAPIRegistry:
+    """The REST operations a backend must (or may) provide.
+
+    Required: ``get(key) -> bytes`` (raise :class:`NoSuchKey`),
+    ``put(key, data)``, ``delete(key)``, ``list(prefix) -> [keys]``.
+    Optional: ``head(key) -> size``, ``get_range(key, offset, length)``,
+    ``put_if_absent(key, data) -> bool``.
+    All handlers are generator coroutines run on the simulator.
+    """
+
+    def __init__(self):
+        self._handlers: dict = {}
+
+    def register(self, verb: str, handler: Handler) -> "RestAPIRegistry":
+        known = {"get", "put", "delete", "list", "head", "get_range",
+                 "put_if_absent"}
+        if verb not in known:
+            raise ValueError(f"unknown REST verb {verb!r}; pick from "
+                             f"{sorted(known)}")
+        self._handlers[verb] = handler
+        return self
+
+    def handler(self, verb: str) -> Optional[Handler]:
+        return self._handlers.get(verb)
+
+    def validate(self) -> None:
+        missing = {"get", "put", "delete", "list"} - set(self._handlers)
+        if missing:
+            raise ValueError(f"backend is missing required REST operations: "
+                             f"{sorted(missing)}")
+
+
+class RestObjectStore(ObjectStore):
+    """ObjectStore adapter over a :class:`RestAPIRegistry`."""
+
+    def __init__(self, sim: Simulator, registry: RestAPIRegistry):
+        registry.validate()
+        self.sim = sim
+        self.registry = registry
+        #: True when exclusive create is only emulated (HEAD+PUT): callers
+        #: needing real atomicity (ArkFS 2PC decisions) can check this.
+        self.emulated_conditional_put = (
+            registry.handler("put_if_absent") is None
+        )
+
+    # -- required verbs -----------------------------------------------------
+
+    def get(self, key: str, src: Optional[Node] = None) -> SimGen:
+        return (yield from self.registry.handler("get")(key))
+
+    def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
+        yield from self.registry.handler("put")(key, data)
+
+    def delete(self, key: str, src: Optional[Node] = None) -> SimGen:
+        yield from self.registry.handler("delete")(key)
+
+    def list(self, prefix: str, src: Optional[Node] = None) -> SimGen:
+        keys: List[str] = yield from self.registry.handler("list")(prefix)
+        return sorted(keys)
+
+    # -- derivable verbs -------------------------------------------------------
+
+    def head(self, key: str, src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("head")
+        if h is not None:
+            return (yield from h(key))
+        data = yield from self.get(key, src=src)
+        return len(data)
+
+    def get_range(self, key: str, offset: int, length: int,
+                  src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("get_range")
+        if h is not None:
+            return (yield from h(key, offset, length))
+        data = yield from self.get(key, src=src)
+        return data[offset : offset + length]
+
+    def put_if_absent(self, key: str, data: bytes,
+                      src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("put_if_absent")
+        if h is not None:
+            return (yield from h(key, data))
+        # Emulation: HEAD-then-PUT. Not atomic across concurrent writers —
+        # acceptable for single-writer uses; flagged for everything else.
+        try:
+            yield from self.head(key, src=src)
+            return False
+        except NoSuchKey:
+            pass
+        yield from self.put(key, data, src=src)
+        return True

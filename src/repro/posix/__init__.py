@@ -1,0 +1,84 @@
+"""POSIX substrate shared by ArkFS and every baseline file system.
+
+Types (:mod:`types`), errors (:mod:`errors`), path handling (:mod:`path`),
+POSIX.1e ACLs (:mod:`acl`), the common VFS operation interface (:mod:`vfs`),
+and the FUSE / kernel mount models (:mod:`fuse`).
+"""
+
+from .acl import Acl, check_perm, perm_str
+from .errors import (
+    AlreadyExists,
+    BadFileHandle,
+    CrossDevice,
+    DirectoryNotEmpty,
+    FSError,
+    InvalidArgument,
+    IOFailure,
+    IsADirectory,
+    NameTooLong,
+    NotADirectory,
+    NotFound,
+    NotPermitted,
+    PermissionDenied,
+    StaleHandle,
+    TooManySymlinks,
+    UnsupportedOperation,
+)
+from .fuse import FUSE_DEFAULTS, KERNEL_DEFAULTS, FuseMount, KernelMount, MountParams
+from .trace import OpTrace, TracingClient
+from .types import (
+    Credentials,
+    FileType,
+    F_OK,
+    OpenFlags,
+    R_OK,
+    ROOT_CREDS,
+    StatFSResult,
+    StatResult,
+    W_OK,
+    X_OK,
+)
+from .vfs import FileHandle, SyncFile, SyncFS, VFSClient
+
+__all__ = [
+    "Acl",
+    "AlreadyExists",
+    "BadFileHandle",
+    "CrossDevice",
+    "Credentials",
+    "DirectoryNotEmpty",
+    "FSError",
+    "F_OK",
+    "FUSE_DEFAULTS",
+    "FileHandle",
+    "FileType",
+    "FuseMount",
+    "InvalidArgument",
+    "IOFailure",
+    "IsADirectory",
+    "KERNEL_DEFAULTS",
+    "KernelMount",
+    "MountParams",
+    "NameTooLong",
+    "NotADirectory",
+    "NotFound",
+    "NotPermitted",
+    "OpenFlags",
+    "PermissionDenied",
+    "R_OK",
+    "ROOT_CREDS",
+    "StaleHandle",
+    "StatFSResult",
+    "StatResult",
+    "SyncFS",
+    "SyncFile",
+    "TracingClient",
+    "OpTrace",
+    "TooManySymlinks",
+    "UnsupportedOperation",
+    "VFSClient",
+    "W_OK",
+    "X_OK",
+    "check_perm",
+    "perm_str",
+]

@@ -1,0 +1,106 @@
+"""POSIX-style file-system errors.
+
+Every file system in this repository (ArkFS and the baselines) raises these,
+so workloads and tests can be written once against the VFS interface. Each
+error carries its errno both symbolically and numerically.
+"""
+
+from __future__ import annotations
+
+import errno
+
+__all__ = [
+    "FSError",
+    "NotFound",
+    "AlreadyExists",
+    "PermissionDenied",
+    "NotPermitted",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "InvalidArgument",
+    "BadFileHandle",
+    "TooManySymlinks",
+    "NameTooLong",
+    "StaleHandle",
+    "IOFailure",
+    "UnsupportedOperation",
+    "CrossDevice",
+]
+
+
+class FSError(Exception):
+    """Base class; ``errno`` matches the POSIX error the real syscall returns."""
+
+    errno: int = errno.EIO
+
+    def __init__(self, path: str = "", detail: str = ""):
+        self.path = path
+        self.detail = detail
+        msg = f"[{errno.errorcode.get(self.errno, self.errno)}] {path}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class NotFound(FSError):
+    errno = errno.ENOENT
+
+
+class AlreadyExists(FSError):
+    errno = errno.EEXIST
+
+
+class PermissionDenied(FSError):
+    errno = errno.EACCES
+
+
+class NotPermitted(FSError):
+    errno = errno.EPERM
+
+
+class NotADirectory(FSError):
+    errno = errno.ENOTDIR
+
+
+class IsADirectory(FSError):
+    errno = errno.EISDIR
+
+
+class DirectoryNotEmpty(FSError):
+    errno = errno.ENOTEMPTY
+
+
+class InvalidArgument(FSError):
+    errno = errno.EINVAL
+
+
+class BadFileHandle(FSError):
+    errno = errno.EBADF
+
+
+class TooManySymlinks(FSError):
+    errno = errno.ELOOP
+
+
+class NameTooLong(FSError):
+    errno = errno.ENAMETOOLONG
+
+
+class StaleHandle(FSError):
+    errno = errno.ESTALE
+
+
+class IOFailure(FSError):
+    errno = errno.EIO
+
+
+class UnsupportedOperation(FSError):
+    """The file system does not implement this operation (e.g. MarFS READ in
+    the paper's environment, or chown on DAOS)."""
+
+    errno = errno.ENOTSUP
+
+
+class CrossDevice(FSError):
+    errno = errno.EXDEV

@@ -1,0 +1,183 @@
+"""Operation tracing: a transparent VFS wrapper recording latencies.
+
+Stack it anywhere in the mount chain (application → TracingClient →
+FuseMount → file system) to collect per-operation-type latency
+distributions in *simulated* time:
+
+    traced = TracingClient(cluster.mount(0))
+    ... run a workload against ``traced`` ...
+    print(traced.report())
+
+Percentiles are computed with numpy over the raw sample arrays, so tracing
+a million operations stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..sim.engine import SimGen
+from .vfs import VFSClient
+
+__all__ = ["TracingClient", "OpTrace"]
+
+
+class OpTrace:
+    """Latency samples for one operation type."""
+
+    __slots__ = ("samples", "errors")
+
+    def __init__(self):
+        self.samples: List[float] = []
+        self.errors = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), q))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def total(self) -> float:
+        return float(np.sum(self.samples)) if self.samples else 0.0
+
+
+class TracingClient(VFSClient):
+    """Times every VFS operation passing through it."""
+
+    _OPS = ("mkdir", "rmdir", "open", "close", "unlink", "stat", "lstat",
+            "readdir", "rename", "read", "write", "fsync", "truncate",
+            "chmod", "chown", "utimens", "access", "symlink", "readlink",
+            "getfacl", "setfacl", "lookup", "statfs")
+
+    def __init__(self, inner: VFSClient):
+        self.inner = inner
+        self.sim = inner.sim
+        self.traces: Dict[str, OpTrace] = {}
+
+    def _trace(self, name: str) -> OpTrace:
+        t = self.traces.get(name)
+        if t is None:
+            t = OpTrace()
+            self.traces[name] = t
+        return t
+
+    def _timed(self, name: str, gen: SimGen) -> SimGen:
+        trace = self._trace(name)
+        t0 = self.sim.now
+        try:
+            result = yield from gen
+        except Exception:
+            trace.errors += 1
+            trace.samples.append(self.sim.now - t0)
+            raise
+        trace.samples.append(self.sim.now - t0)
+        return result
+
+    # Every VFS method delegates through _timed; generated uniformly.
+    def __getattr__(self, name):  # pragma: no cover - defensive
+        return getattr(self.inner, name)
+
+    # -- namespace ---------------------------------------------------------
+
+    def mkdir(self, creds, path, mode=0o777):
+        return self._timed("mkdir", self.inner.mkdir(creds, path, mode))
+
+    def rmdir(self, creds, path):
+        return self._timed("rmdir", self.inner.rmdir(creds, path))
+
+    def open(self, creds, path, flags, mode=0o666):
+        return self._timed("open", self.inner.open(creds, path, flags, mode))
+
+    def close(self, handle):
+        return self._timed("close", self.inner.close(handle))
+
+    def unlink(self, creds, path):
+        return self._timed("unlink", self.inner.unlink(creds, path))
+
+    def stat(self, creds, path):
+        return self._timed("stat", self.inner.stat(creds, path))
+
+    def lstat(self, creds, path):
+        return self._timed("lstat", self.inner.lstat(creds, path))
+
+    def readdir(self, creds, path):
+        return self._timed("readdir", self.inner.readdir(creds, path))
+
+    def rename(self, creds, src, dst):
+        return self._timed("rename", self.inner.rename(creds, src, dst))
+
+    def lookup(self, creds, dir_path, name):
+        return self._timed("lookup", self.inner.lookup(creds, dir_path, name))
+
+    # -- data -----------------------------------------------------------------
+
+    def read(self, handle, size, offset=None):
+        return self._timed("read", self.inner.read(handle, size, offset))
+
+    def write(self, handle, data, offset=None):
+        return self._timed("write", self.inner.write(handle, data, offset))
+
+    def fsync(self, handle):
+        return self._timed("fsync", self.inner.fsync(handle))
+
+    def truncate(self, creds, path, size):
+        return self._timed("truncate", self.inner.truncate(creds, path, size))
+
+    # -- attributes ----------------------------------------------------------------
+
+    def chmod(self, creds, path, mode):
+        return self._timed("chmod", self.inner.chmod(creds, path, mode))
+
+    def chown(self, creds, path, uid, gid):
+        return self._timed("chown", self.inner.chown(creds, path, uid, gid))
+
+    def utimens(self, creds, path, atime, mtime):
+        return self._timed("utimens",
+                           self.inner.utimens(creds, path, atime, mtime))
+
+    def access(self, creds, path, want):
+        return self._timed("access", self.inner.access(creds, path, want))
+
+    def symlink(self, creds, target, linkpath):
+        return self._timed("symlink",
+                           self.inner.symlink(creds, target, linkpath))
+
+    def readlink(self, creds, path):
+        return self._timed("readlink", self.inner.readlink(creds, path))
+
+    def getfacl(self, creds, path):
+        return self._timed("getfacl", self.inner.getfacl(creds, path))
+
+    def setfacl(self, creds, path, acl):
+        return self._timed("setfacl", self.inner.setfacl(creds, path, acl))
+
+    def statfs(self, creds):
+        return self._timed("statfs", self.inner.statfs(creds))
+
+    # -- reporting --------------------------------------------------------------------
+
+    def report(self, unit: float = 1e-6, unit_name: str = "µs") -> str:
+        """Aligned latency table: count, mean, p50/p95/p99, errors."""
+        lines = [f"{'op':>10} {'count':>8} {'mean':>10} {'p50':>10} "
+                 f"{'p95':>10} {'p99':>10} {'errs':>5}   [{unit_name}]"]
+        for name in sorted(self.traces):
+            t = self.traces[name]
+            lines.append(
+                f"{name:>10} {t.count:>8} {t.mean / unit:>10.1f} "
+                f"{t.percentile(50) / unit:>10.1f} "
+                f"{t.percentile(95) / unit:>10.1f} "
+                f"{t.percentile(99) / unit:>10.1f} {t.errors:>5}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.traces.clear()

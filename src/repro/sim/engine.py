@@ -1,0 +1,368 @@
+"""Discrete-event simulation kernel.
+
+This is the timing substrate for the whole reproduction: file-system
+operations are generator coroutines that yield :class:`Event` objects and are
+driven by a :class:`Simulator`. The design is a compact subset of the SimPy
+process-interaction model, implemented from scratch so the repository has no
+dependencies beyond the scientific stack.
+
+Typical use::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.5)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done" and sim.now == 1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+# A simulated operation: a generator that yields Events and returns a value.
+SimGen = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary user data (e.g. the reason for a crash).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and is *processed* once the simulator has run its
+    callbacks. Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_auto_value")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        # Value delivered automatically when a pre-scheduled event (e.g. a
+        # Timeout) is popped off the heap without an explicit succeed()/fail().
+        self._auto_value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately in the current step.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._auto_value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator coroutine; the process itself is awaitable.
+
+    The process event triggers when the generator returns (success, with the
+    generator's return value) or raises (failure, with the exception).
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: SimGen, name: str = ""):
+        Event.__init__(self, sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time.
+        start = Event(sim)
+        self._waiting_on = start
+        sim._schedule(start, 0)
+        start.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        if self._waiting_on is not None:
+            target = self._waiting_on
+
+            def deliver(_ev: Event, self=self, cause=cause) -> None:
+                # The process may have resumed (or died) through its awaited
+                # event in the meantime; only interrupt if still waiting.
+                if not self.triggered and self._waiting_on is target:
+                    self._waiting_on = None
+                    self._step(Interrupt(cause), throw=True)
+
+            wake = Event(self.sim)
+            self.sim._schedule(wake, 0)
+            wake.add_callback(deliver)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered or self._waiting_on is not event:
+            # Process finished, or was interrupted away from this event and is
+            # now waiting on something else: this wake-up is stale.
+            return
+        self._waiting_on = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._gen.close()
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self._auto_value = []
+            sim._schedule(self, 0)
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered; fails fast on failure.
+
+    Value is the list of child values in the original order.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers (value or failure).
+
+    Value is ``(index, value)`` of the first event to fire.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue an externally-triggered (succeed/fail) event for processing."""
+        if not event._scheduled:
+            self._schedule(event, 0)
+
+    # -- public API --------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: SimGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process a single event."""
+        time, _seq, event = heapq.heappop(self._heap)
+        assert time >= self.now, "event scheduled in the past"
+        self.now = time
+        if event._value is Event._PENDING:
+            # Pre-scheduled event (Timeout, process kick-off, empty condition)
+            # reaching its due time: it succeeds with its auto value.
+            event._ok = True
+            event._value = event._auto_value
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError("cannot run backwards in time")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_process(self, gen: SimGen, name: str = "") -> Any:
+        """Convenience: run ``gen`` to completion and return its value.
+
+        Raises the process's exception if it failed. Other already-scheduled
+        events continue to be processed as needed.
+        """
+        proc = self.process(gen, name=name)
+        while not proc.triggered and self._heap:
+            self.step()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked: no more events"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value

@@ -1,0 +1,152 @@
+"""Cluster network model: nodes, links, and RPC.
+
+Nodes own a CPU :class:`~repro.sim.resources.Resource` and a NIC
+:class:`~repro.sim.resources.BandwidthPipe`. Messages pay one-way latency
+plus serialization time through both endpoints' NICs; RPCs run a registered
+handler coroutine on the destination node. This models what the paper calls
+"network round-trip overheads between clients and metadata servers" and the
+gRPC traffic between ArkFS clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from .engine import SimGen, Simulator
+from .resources import BandwidthPipe, Resource
+
+__all__ = ["NetParams", "Node", "Network", "RpcError", "NodeDown"]
+
+
+class RpcError(Exception):
+    """Transport-level RPC failure (destination down / unreachable)."""
+
+
+class NodeDown(RpcError):
+    """The destination node is not alive."""
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """Link characteristics, defaulting to a 10 GbE LAN."""
+
+    latency_s: float = 50e-6          # one-way propagation + stack latency
+    bandwidth_bps: float = 10e9 / 8   # bytes/sec per NIC
+    rpc_timeout_s: float = 1.0        # time wasted detecting a dead peer
+
+
+class Node:
+    """A machine in the cluster: CPU cores, a NIC, and an RPC dispatch table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int = 1,
+        net: Optional["Network"] = None,
+        nic_bps: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = Resource(sim, capacity=cores, name=f"{name}.cpu")
+        self.net = net
+        bw = nic_bps if nic_bps is not None else (net.params.bandwidth_bps if net else 10e9 / 8)
+        self.nic = BandwidthPipe(sim, bw, name=f"{name}.nic")
+        self.alive = True
+        self._handlers: Dict[str, Callable[..., SimGen]] = {}
+        if net is not None:
+            net.attach(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} alive={self.alive}>"
+
+    def work(self, seconds: float) -> SimGen:
+        """Consume this node's CPU for ``seconds`` (queueing if contended)."""
+        if seconds > 0:
+            yield from self.cpu.use(seconds)
+
+    def register(self, method: str, handler: Callable[..., SimGen]) -> None:
+        """Register an RPC handler: a generator function ``handler(*args)``."""
+        self._handlers[method] = handler
+
+    def crash(self) -> None:
+        """Mark the node dead: future RPCs to it fail after a timeout."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def call(
+        self,
+        target: "Node",
+        method: str,
+        *args: Any,
+        req_size: int = 256,
+        resp_size: int = 256,
+    ) -> SimGen:
+        """RPC from this node to ``target``; returns the handler's value.
+
+        Application-level exceptions raised by the handler propagate to the
+        caller (after paying the response network cost), mirroring how a gRPC
+        error status travels back. Transport failures raise :class:`RpcError`.
+        """
+        assert self.net is not None, "node not attached to a network"
+        if not self.alive:
+            raise NodeDown(f"caller {self.name} is down")
+        if target is self:
+            # Local dispatch: no network, but still runs the handler.
+            handler = target._handlers[method]
+            result = yield self.sim.process(handler(*args), name=f"{method}@{target.name}")
+            return result
+        yield from self.net.send(self, target, req_size)
+        if not target.alive:
+            # Model the caller burning its RPC timeout discovering the death.
+            yield self.sim.timeout(self.net.params.rpc_timeout_s)
+            raise NodeDown(f"rpc {method!r}: node {target.name} is down")
+        try:
+            handler = target._handlers[method]
+        except KeyError:
+            raise RpcError(f"node {target.name} has no handler {method!r}") from None
+        try:
+            result = yield self.sim.process(
+                handler(*args), name=f"{method}@{target.name}"
+            )
+        except Exception:
+            if target.alive and self.alive:
+                yield from self.net.send(target, self, resp_size)
+            raise
+        if not target.alive:
+            yield self.sim.timeout(self.net.params.rpc_timeout_s)
+            raise NodeDown(f"rpc {method!r}: node {target.name} died mid-call")
+        yield from self.net.send(target, self, resp_size)
+        return result
+
+
+class Network:
+    """A flat cluster network with uniform latency and per-NIC bandwidth."""
+
+    def __init__(self, sim: Simulator, params: Optional[NetParams] = None):
+        self.sim = sim
+        self.params = params or NetParams()
+        self.nodes: Dict[str, Node] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.net = self
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def send(self, src: Node, dst: Node, size: int) -> SimGen:
+        """Move ``size`` bytes from ``src`` to ``dst``: NIC serialization at
+        both ends plus propagation latency."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        yield from src.nic.transfer(size)
+        yield self.sim.timeout(self.params.latency_s)
+        yield from dst.nic.transfer(size)

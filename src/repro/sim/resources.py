@@ -1,0 +1,181 @@
+"""Queueing primitives built on the DES kernel.
+
+These model the shared hardware the paper's performance effects come from:
+CPU cores at metadata servers and clients (:class:`Resource`), storage and
+network bandwidth (:class:`BandwidthPipe`), message queues (:class:`Store`),
+and mutual exclusion such as the FUSE lookup lock (:class:`Mutex`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Event, SimGen, Simulator, SimulationError
+
+__all__ = ["Request", "Resource", "Mutex", "Store", "BandwidthPipe", "serve"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Triggers (with value ``self``) once the resource grants a slot. Must be
+    passed back to :meth:`Resource.release`.
+    """
+
+    __slots__ = ("resource", "granted")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.granted = False
+
+
+class Resource:
+    """A FIFO multi-server resource with fixed capacity.
+
+    ``capacity`` concurrent holders; further requests queue in arrival order.
+    This is the building block for CPU cores, MDS service slots, and disk
+    queue depth.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if not req.granted:
+            # Cancelling a queued request (e.g. the holder-to-be crashed).
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                raise SimulationError("releasing a request never granted/queued")
+            return
+        req.granted = False
+        self._in_use -= 1
+        while self._queue and self._in_use < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def _grant(self, req: Request) -> None:
+        self._in_use += 1
+        req.granted = True
+        req.succeed(req)
+
+    def use(self, hold_time: float) -> SimGen:
+        """Generator helper: acquire, hold for ``hold_time``, release."""
+        req = self.request()
+        yield req
+        try:
+            if hold_time > 0:
+                yield self.sim.timeout(hold_time)
+        finally:
+            self.release(req)
+
+
+class Mutex(Resource):
+    """Capacity-1 resource (e.g. the kernel's exclusive FUSE lookup lock)."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
+
+
+class Store:
+    """An unbounded FIFO channel of items; ``get`` blocks until an item exists.
+
+    Used for RPC server request queues and background-thread work queues.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; ``None`` if empty."""
+        return self._items.popleft() if self._items else None
+
+
+class BandwidthPipe:
+    """A shared link/device transferring bytes at a fixed aggregate rate.
+
+    Transfers are serviced FIFO through ``lanes`` parallel channels, each
+    proportionally slower as the device is shared. The FIFO model reproduces
+    saturation behaviour (aggregate throughput caps at ``bytes_per_sec``)
+    without the complexity of fair-share recomputation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_sec: float,
+        lanes: int = 1,
+        name: str = "",
+    ):
+        if bytes_per_sec <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.sim = sim
+        self.bytes_per_sec = float(bytes_per_sec)
+        self.name = name
+        self._res = Resource(sim, capacity=max(1, lanes), name=name)
+        self.bytes_moved = 0
+
+    def transfer(self, nbytes: int) -> SimGen:
+        """Generator: move ``nbytes`` through the pipe, modelling queueing."""
+        if nbytes < 0:
+            raise SimulationError("cannot transfer negative bytes")
+        self.bytes_moved += nbytes
+        # Each lane serves at the per-lane share of the aggregate rate.
+        duration = nbytes * self._res.capacity / self.bytes_per_sec
+        yield from self._res.use(duration)
+
+    @property
+    def queue_length(self) -> int:
+        return self._res.queue_length
+
+
+def serve(resource: Resource, service_time: float) -> SimGen:
+    """Acquire ``resource``, hold it for ``service_time``, release.
+
+    The canonical "CPU does work" pattern: queueing delay emerges when the
+    resource is contended.
+    """
+    yield from resource.use(service_time)

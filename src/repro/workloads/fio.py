@@ -1,0 +1,96 @@
+"""fio-style sequential bandwidth workload (Section IV-B).
+
+The paper: "we run fio with 32 processes and each process writes and then
+reads a 32GB file using 128KB request size (total 1TB). At the end of the
+file writing, each fio process calls fsync() ... and drops the cache
+entries of written files." We reproduce the phase structure at a
+configurable scale (the timing model is size-linear; EXPERIMENTS.md
+documents the scale-down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..posix.types import Credentials, OpenFlags, ROOT_CREDS
+from ..posix.vfs import VFSClient
+from ..sim.engine import SimGen, Simulator
+from .runner import WorkloadRunner, run_phase
+from .mdtest import _clients_of, _mount_of
+
+__all__ = ["FioResult", "fio_seq"]
+
+
+@dataclass
+class FioResult:
+    write_mbps: float
+    read_mbps: float
+    write_elapsed: float
+    read_elapsed: float
+    total_bytes: int
+
+
+def fio_seq(
+    sim: Simulator,
+    mounts: Sequence[VFSClient],
+    n_procs: int,
+    file_size: int,
+    block_size: int = 128 * 1024,
+    creds: Credentials = ROOT_CREDS,
+    base: str = "/fio",
+) -> FioResult:
+    """Sequential write-then-read; returns aggregate MB/s per phase."""
+    runner = WorkloadRunner(sim, _clients_of(mounts), list(mounts))
+    block = b"\x5A" * block_size
+
+    def setup() -> SimGen:
+        yield from mounts[0].mkdir(creds, base)
+
+    runner.setup([setup])
+
+    def write_proc(p: int):
+        def gen() -> SimGen:
+            m = _mount_of(mounts, p)
+            h = yield from m.open(
+                creds, f"{base}/job{p}.dat",
+                OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_TRUNC)
+            remaining = file_size
+            while remaining > 0:
+                n = min(block_size, remaining)
+                yield from m.write(h, block[:n])
+                remaining -= n
+            yield from m.fsync(h)
+            yield from m.close(h)
+        return gen
+
+    def read_proc(p: int):
+        def gen() -> SimGen:
+            m = _mount_of(mounts, p)
+            h = yield from m.open(creds, f"{base}/job{p}.dat",
+                                  OpenFlags.O_RDONLY)
+            remaining = file_size
+            while remaining > 0:
+                data = yield from m.read(h, min(block_size, remaining))
+                if not data:
+                    break
+                remaining -= len(data)
+            yield from m.close(h)
+        return gen
+
+    total = n_procs * file_size
+    w = runner.phase("WRITE", [write_proc(p) for p in range(n_procs)],
+                     ops=n_procs, nbytes=total)
+    # Drop caches between phases, exactly as the paper does.
+    drops = []
+    for client in _clients_of(mounts):
+        drop = getattr(client, "drop_caches", None)
+        if drop is not None:
+            drops.append(sim.process(drop()))
+    if drops:
+        run_phase(sim, drops)
+    r = runner.phase("READ", [read_proc(p) for p in range(n_procs)],
+                     ops=n_procs, nbytes=total)
+    return FioResult(write_mbps=w.bandwidth_mbps, read_mbps=r.bandwidth_mbps,
+                     write_elapsed=w.elapsed, read_elapsed=r.elapsed,
+                     total_bytes=total)

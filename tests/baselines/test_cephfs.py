@@ -1,0 +1,247 @@
+"""CephFS/MarFS baseline: semantics + the MDS timing model."""
+
+import pytest
+
+from repro.baselines import (
+    CEPH_MDS,
+    CephClientParams,
+    MDSParams,
+    build_cephfs,
+    build_marfs,
+)
+from repro.posix import (
+    NotFound,
+    OpenFlags,
+    PermissionDenied,
+    ROOT_CREDS,
+    SyncFS,
+    UnsupportedOperation,
+    Credentials,
+)
+from repro.sim import Simulator
+
+
+def run_all(sim, procs):
+    """Advance the simulation until every process in ``procs`` completes
+    (backgrounds like the MDS rebalancer run forever, so sim.run() alone
+    would never return / would distort elapsed-time measurements)."""
+    done = sim.all_of(procs)
+    while not done.triggered:
+        sim.step()
+
+
+@pytest.fixture
+def ceph():
+    sim = Simulator()
+    cluster = build_cephfs(sim, n_clients=2, functional=True)
+    return sim, cluster
+
+
+def fs_of(cluster, i=0, creds=ROOT_CREDS):
+    return SyncFS(cluster.client(i), creds)
+
+
+class TestSemantics:
+    def test_roundtrip(self, ceph):
+        sim, cluster = ceph
+        fs = fs_of(cluster)
+        fs.makedirs("/a/b")
+        fs.write_file("/a/b/f", b"hello ceph", do_fsync=True)
+        assert fs.read_file("/a/b/f") == b"hello ceph"
+        assert fs.stat("/a/b/f").st_size == 10
+
+    def test_cross_client_visibility(self, ceph):
+        sim, cluster = ceph
+        fs0, fs1 = fs_of(cluster, 0), fs_of(cluster, 1)
+        fs0.mkdir("/shared")
+        fs0.write_file("/shared/f", b"from zero", do_fsync=True)
+        assert fs1.read_file("/shared/f") == b"from zero"
+
+    def test_writeback_flushed_on_conflicting_reader(self, ceph):
+        """Cap revocation: client1's read must see client0's cached write."""
+        sim, cluster = ceph
+        fs0, fs1 = fs_of(cluster, 0), fs_of(cluster, 1)
+        h = fs0.create("/wb")
+        h.write(b"cached bytes")
+        h.close()
+        assert fs1.read_file("/wb") == b"cached bytes"
+
+    def test_permissions(self, ceph):
+        sim, cluster = ceph
+        root = fs_of(cluster)
+        root.mkdir("/secure", 0o700)
+        root.write_file("/secure/f", b"top")
+        user = fs_of(cluster, 0, Credentials(1000, 1000))
+        with pytest.raises(PermissionDenied):
+            user.read_file("/secure/f")
+
+    def test_rename_and_unlink(self, ceph):
+        sim, cluster = ceph
+        fs = fs_of(cluster)
+        fs.mkdir("/d1")
+        fs.mkdir("/d2")
+        fs.write_file("/d1/f", b"x", do_fsync=True)
+        fs.rename("/d1/f", "/d2/g")
+        assert fs.readdir("/d2") == ["g"]
+        fs.unlink("/d2/g")
+        with pytest.raises(NotFound):
+            fs.stat("/d2/g")
+
+    def test_truncate(self, ceph):
+        sim, cluster = ceph
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"0123456789", do_fsync=True)
+        fs.truncate("/f", 3)
+        assert fs.read_file("/f") == b"012"
+
+    def test_symlinks(self, ceph):
+        sim, cluster = ceph
+        fs = fs_of(cluster)
+        fs.mkdir("/real")
+        fs.write_file("/real/f", b"via", do_fsync=True)
+        fs.symlink("/real", "/ln")
+        assert fs.read_file("/ln/f") == b"via"
+        assert fs.readlink("/ln") == "/real"
+
+
+class TestMDSModel:
+    def test_every_metadata_op_visits_mds(self):
+        sim = Simulator()
+        cluster = build_cephfs(sim, n_clients=1, functional=True)
+        fs = fs_of(cluster)
+        before = cluster.mds.total_ops
+        fs.mkdir("/x")
+        fs.stat("/x")
+        fs.readdir("/x")
+        assert cluster.mds.total_ops >= before + 3
+
+    def test_single_mds_saturates(self):
+        """Aggregate create throughput caps near 1/service_time."""
+        sim = Simulator()
+        params = MDSParams(n_mds=1, base_service=100e-6,
+                           contention_alpha=0.0)
+        cluster = build_cephfs(sim, n_clients=4, functional=False,
+                               mds_params=params)
+        n_creates = 200
+
+        def worker(i):
+            client = cluster.client(i)
+            from repro.posix import ROOT_CREDS
+
+            yield from client.mkdir(ROOT_CREDS, f"/w{i}")
+            for j in range(n_creates):
+                h = yield from client.create(ROOT_CREDS, f"/w{i}/f{j}")
+                yield from client.close(h)
+
+        t0 = sim.now
+        procs = [sim.process(worker(i)) for i in range(4)]
+        run_all(sim, procs)
+        elapsed = sim.now - t0
+        total_ops = 4 * n_creates
+        rate = total_ops / elapsed
+        assert rate <= 1.05 / 100e-6  # cannot exceed the MDS service rate
+
+    def test_contention_degrades_service(self):
+        """With contention_alpha, more concurrent sessions -> lower
+        aggregate throughput (the Fig. 1 collapse mechanism)."""
+        def run(n_clients, alpha):
+            sim = Simulator()
+            params = MDSParams(n_mds=1, base_service=50e-6,
+                               contention_alpha=alpha, contention_knee=2)
+            cluster = build_cephfs(sim, n_clients=n_clients, functional=False,
+                                   mds_params=params)
+
+            def worker(i):
+                client = cluster.client(i)
+                yield from client.mkdir(ROOT_CREDS, f"/w{i}")
+                for j in range(50):
+                    h = yield from client.create(ROOT_CREDS, f"/w{i}/f{j}")
+                    yield from client.close(h)
+
+            t0 = sim.now
+            procs = [sim.process(worker(i)) for i in range(n_clients)]
+            run_all(sim, procs)
+            return n_clients * 51 / (sim.now - t0)
+
+        few = run(2, alpha=0.3)
+        many = run(16, alpha=0.3)
+        assert many < few  # throughput collapses, not just saturates
+
+    def test_multi_mds_improves_but_sublinearly(self):
+        def run(n_mds):
+            sim = Simulator()
+            params = MDSParams(n_mds=n_mds, base_service=80e-6,
+                               contention_alpha=0.02, forward_prob=0.4,
+                               rebalance_interval=0.5, rebalance_pause=0.01)
+            cluster = build_cephfs(sim, n_clients=8, functional=False,
+                                   mds_params=params)
+
+            def worker(i):
+                client = cluster.client(i)
+                yield from client.mkdir(ROOT_CREDS, f"/w{i}")
+                for j in range(100):
+                    h = yield from client.create(ROOT_CREDS, f"/w{i}/f{j}")
+                    yield from client.close(h)
+
+            t0 = sim.now
+            procs = [sim.process(worker(i)) for i in range(8)]
+            run_all(sim, procs)
+            return 8 * 101 / (sim.now - t0)
+
+        one = run(1)
+        four = run(4)
+        assert four > one            # more MDSs do help...
+        assert four < one * 4        # ...but far from linearly
+
+
+class TestMarFS:
+    def test_functional_namespace(self):
+        sim = Simulator()
+        cluster = build_marfs(sim, n_clients=1, functional=True)
+        fs = fs_of(cluster)
+        fs.mkdir("/archive")
+        fs.write_file("/archive/f", b"x", do_fsync=True)
+        assert fs.readdir("/archive") == ["f"]
+        assert fs.stat("/archive/f").st_size == 1
+
+    def test_reads_fail_like_the_paper(self):
+        sim = Simulator()
+        cluster = build_marfs(sim, n_clients=1, functional=True)
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"data", do_fsync=True)
+        with pytest.raises(UnsupportedOperation):
+            fs.read_file("/f")
+
+    def test_reads_work_with_flag_disabled(self):
+        from repro.baselines.marfs import MARFS_CLIENT
+        from dataclasses import replace
+
+        sim = Simulator()
+        cluster = build_marfs(sim, n_clients=1, functional=True,
+                              client_params=replace(MARFS_CLIENT,
+                                                    fail_reads=False))
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"data", do_fsync=True)
+        assert fs.read_file("/f") == b"data"
+
+    def test_marfs_slower_than_cephfs_kernel(self):
+        """MarFS's interactive mount + heavy MDS should be slower."""
+        def run(builder, **kw):
+            sim = Simulator()
+            cluster = builder(sim, n_clients=1, functional=False, **kw)
+            mount = cluster.mount(0)
+
+            def worker():
+                yield from mount.mkdir(ROOT_CREDS, "/w")
+                for j in range(100):
+                    h = yield from mount.create(ROOT_CREDS, f"/w/f{j}")
+                    yield from mount.close(h)
+
+            t0 = sim.now
+            procs = [sim.process(worker())]
+            run_all(sim, procs)
+            return sim.now - t0
+
+        t_ceph = run(build_cephfs, mount="kernel")
+        t_marfs = run(build_marfs)
+        assert t_marfs > t_ceph

@@ -1,0 +1,173 @@
+"""goofys baseline: streaming uploads, pipelined reads, relaxed POSIX."""
+
+import pytest
+
+from repro.baselines import GoofysParams, build_goofys
+from repro.posix import (
+    AlreadyExists,
+    NotFound,
+    OpenFlags,
+    ROOT_CREDS,
+    SyncFS,
+    UnsupportedOperation,
+)
+from repro.sim import Simulator
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def goofys():
+    sim = Simulator()
+    cluster = build_goofys(sim, n_clients=1, functional=True,
+                           params=GoofysParams(part_size=64 * 1024,
+                                               chunk_size=32 * 1024,
+                                               readahead=256 * 1024))
+    return sim, cluster
+
+
+def fs_of(cluster, i=0):
+    return SyncFS(cluster.client(i), ROOT_CREDS)
+
+
+class TestWrites:
+    def test_streaming_roundtrip(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        payload = bytes(i % 251 for i in range(300_000))
+        fs.write_file("/stream", payload, do_fsync=True)
+        assert fs.read_file("/stream") == payload
+        assert fs.stat("/stream").st_size == len(payload)
+
+    def test_parts_uploaded_during_write_not_at_close(self, goofys):
+        """Bytes ship while the application writes (no disk staging)."""
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        h = fs.create("/f")
+        h.write(b"x" * 200_000)  # > 3 parts of 64 KiB
+        sim.run()  # let in-flight part uploads land
+        part_keys = [k for k in cluster.bucket.sync_list("")
+                     if ".goofys-part." in k]
+        assert len(part_keys) >= 3
+        h.close()
+        # After completion the parts are assembled into the final object.
+        assert "f" in cluster.store
+        assert not [k for k in cluster.bucket.sync_list("")
+                    if ".goofys-part." in k]
+
+    def test_no_in_place_modification(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"immutable", do_fsync=True)
+        with pytest.raises(UnsupportedOperation):
+            fs.open("/f", OpenFlags.O_WRONLY)  # no O_TRUNC: would modify
+
+    def test_trunc_overwrite_allowed(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"old", do_fsync=True)
+        fs.write_file("/f", b"new!", do_fsync=True)
+        assert fs.read_file("/f") == b"new!"
+
+    def test_random_write_rejected(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        h = fs.create("/f")
+        h.write(b"seq")
+        with pytest.raises(UnsupportedOperation):
+            h.write(b"jump", offset=100)
+
+    def test_empty_file_create(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.create("/empty").close()
+        assert fs.stat("/empty").st_size == 0
+
+
+class TestReads:
+    def test_pipelined_sequential_read(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        payload = bytes(i % 256 for i in range(256 * 1024))
+        fs.write_file("/f", payload, do_fsync=True)
+        h = fs.open("/f", OpenFlags.O_RDONLY)
+        out = b""
+        while True:
+            chunk = h.read(20_000)
+            if not chunk:
+                break
+            out += chunk
+        h.close()
+        assert out == payload
+
+    def test_read_past_eof(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"short", do_fsync=True)
+        h = fs.open("/f", OpenFlags.O_RDONLY)
+        assert h.read(100, offset=50) == b""
+        h.close()
+
+
+class TestRelaxedPosix:
+    def test_chmod_silently_ignored(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"", do_fsync=True)
+        fs.chmod("/f", 0o000)  # accepted, no effect
+        assert fs.read_file("/f") == b""
+
+    def test_symlinks_unsupported(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        with pytest.raises(UnsupportedOperation):
+            fs.symlink("/a", "/b")
+
+    def test_dir_rename_unsupported(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.mkdir("/d")
+        with pytest.raises(UnsupportedOperation):
+            fs.rename("/d", "/e")
+
+    def test_file_rename_works(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.write_file("/a", b"move me", do_fsync=True)
+        fs.rename("/a", "/b")
+        assert fs.read_file("/b") == b"move me"
+        with pytest.raises(NotFound):
+            fs.stat("/a")
+
+    def test_namespace_basics(self, goofys):
+        sim, cluster = goofys
+        fs = fs_of(cluster)
+        fs.mkdir("/d")
+        with pytest.raises(AlreadyExists):
+            fs.mkdir("/d")
+        fs.write_file("/d/f", b"", do_fsync=True)
+        assert fs.readdir("/d") == ["f"]
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+
+
+class TestReadAheadAdvantage:
+    def test_bigger_window_reads_faster_on_s3(self):
+        """goofys's huge window hides S3 latency: the Fig. 6(b) effect."""
+        def run(readahead):
+            sim = Simulator()
+            cluster = build_goofys(
+                sim, n_clients=1, functional=False,
+                params=GoofysParams(readahead=readahead,
+                                    chunk_size=2 * MiB, part_size=5 * MiB))
+            fs = fs_of(cluster)
+            payload = bytes(64) * (16 * MiB // 64)
+            fs.write_file("/big", payload, do_fsync=True)
+            t0 = cluster.sim.now
+            got = fs.read_file("/big")
+            assert got == payload
+            return cluster.sim.now - t0
+
+        slow = run(2 * MiB)       # barely any pipelining (8 chunks, 1 ahead)
+        fast = run(64 * MiB)      # deep pipeline (all chunks in flight)
+        assert fast < slow * 0.7

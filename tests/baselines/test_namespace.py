@@ -1,0 +1,135 @@
+"""The centralized namespace (MDS state) behaves POSIX-ly."""
+
+import pytest
+
+from repro.baselines import Namespace
+from repro.core import InoAllocator, ROOT_INO
+from repro.posix import (
+    AlreadyExists,
+    Credentials,
+    DirectoryNotEmpty,
+    FileType,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    OpenFlags,
+    PermissionDenied,
+    TooManySymlinks,
+)
+
+ROOT = Credentials(0, 0)
+USER = Credentials(1000, 1000)
+
+
+@pytest.fixture
+def ns():
+    return Namespace(InoAllocator(seed=7))
+
+
+class TestTree:
+    def test_mkdir_resolve(self, ns):
+        d = ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 1.0)
+        assert ns.resolve(ROOT, ["a"]) == d.ino
+        sub = ns.mkdir(ROOT, d.ino, "b", 0o755, 2.0)
+        assert ns.resolve(ROOT, ["a", "b"]) == sub.ino
+
+    def test_duplicate_mkdir(self, ns):
+        ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 0)
+        with pytest.raises(AlreadyExists):
+            ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 0)
+
+    def test_create_and_lookup(self, ns):
+        inode, created = ns.create(ROOT, ROOT_INO, "f",
+                                   OpenFlags.O_CREAT | OpenFlags.O_WRONLY,
+                                   0o644, 0)
+        assert created
+        assert ns.lookup(ROOT, ROOT_INO, "f").ino == inode.ino
+        _same, created2 = ns.create(ROOT, ROOT_INO, "f",
+                                    OpenFlags.O_CREAT | OpenFlags.O_RDWR,
+                                    0o644, 0)
+        assert not created2
+
+    def test_create_excl_conflict(self, ns):
+        ns.create(ROOT, ROOT_INO, "f", OpenFlags.O_CREAT, 0o644, 0)
+        with pytest.raises(AlreadyExists):
+            ns.create(ROOT, ROOT_INO, "f",
+                      OpenFlags.O_CREAT | OpenFlags.O_EXCL, 0o644, 0)
+
+    def test_unlink_and_rmdir_rules(self, ns):
+        d = ns.mkdir(ROOT, ROOT_INO, "d", 0o755, 0)
+        ns.create(ROOT, d.ino, "f", OpenFlags.O_CREAT, 0o644, 0)
+        with pytest.raises(DirectoryNotEmpty):
+            ns.rmdir(ROOT, ROOT_INO, "d", 0)
+        with pytest.raises(IsADirectory):
+            ns.unlink(ROOT, ROOT_INO, "d", 0)
+        ns.unlink(ROOT, d.ino, "f", 0)
+        ns.rmdir(ROOT, ROOT_INO, "d", 0)
+        with pytest.raises(NotFound):
+            ns.resolve(ROOT, ["d"])
+
+    def test_readdir_sorted(self, ns):
+        for n in ["c", "a", "b"]:
+            ns.create(ROOT, ROOT_INO, n, OpenFlags.O_CREAT, 0o644, 0)
+        assert ns.readdir(ROOT, ROOT_INO) == ["a", "b", "c"]
+
+    def test_permission_enforced_on_traversal(self, ns):
+        d = ns.mkdir(ROOT, ROOT_INO, "locked", 0o700, 0)
+        ns.mkdir(ROOT, d.ino, "inner", 0o755, 0)
+        with pytest.raises(PermissionDenied):
+            ns.resolve(USER, ["locked", "inner"])
+
+    def test_symlink_follow(self, ns):
+        d = ns.mkdir(ROOT, ROOT_INO, "real", 0o755, 0)
+        ns.symlink(ROOT, ROOT_INO, "link", "/real", 0)
+        assert ns.resolve(ROOT, ["link"]) == d.ino
+        # lstat-style: no follow on final
+        ino = ns.resolve(ROOT, ["link"], follow_final=False)
+        assert ns.node(ino).inode.is_symlink
+
+    def test_symlink_loop(self, ns):
+        ns.symlink(ROOT, ROOT_INO, "x", "/y", 0)
+        ns.symlink(ROOT, ROOT_INO, "y", "/x", 0)
+        with pytest.raises(TooManySymlinks):
+            ns.resolve(ROOT, ["x"])
+
+    def test_relative_symlink(self, ns):
+        d = ns.mkdir(ROOT, ROOT_INO, "d", 0o755, 0)
+        t = ns.mkdir(ROOT, d.ino, "target", 0o755, 0)
+        ns.symlink(ROOT, d.ino, "ln", "target", 0)
+        assert ns.resolve(ROOT, ["d", "ln"]) == t.ino
+
+    def test_rename_moves_subtree(self, ns):
+        a = ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 0)
+        b = ns.mkdir(ROOT, ROOT_INO, "b", 0o755, 0)
+        deep = ns.mkdir(ROOT, a.ino, "deep", 0o755, 0)
+        ns.rename(ROOT, ROOT_INO, "a", b.ino, "moved", 1.0)
+        assert ns.resolve(ROOT, ["b", "moved", "deep"]) == deep.ino
+
+    def test_rename_overwrite_returns_victim(self, ns):
+        f1, _ = ns.create(ROOT, ROOT_INO, "f1", OpenFlags.O_CREAT, 0o644, 0)
+        f2, _ = ns.create(ROOT, ROOT_INO, "f2", OpenFlags.O_CREAT, 0o644, 0)
+        removed = ns.rename(ROOT, ROOT_INO, "f1", ROOT_INO, "f2", 0)
+        assert removed.ino == f2.ino
+
+    def test_rename_dir_over_nonempty(self, ns):
+        ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 0)
+        b = ns.mkdir(ROOT, ROOT_INO, "b", 0o755, 0)
+        ns.create(ROOT, b.ino, "keep", OpenFlags.O_CREAT, 0o644, 0)
+        with pytest.raises(DirectoryNotEmpty):
+            ns.rename(ROOT, ROOT_INO, "a", ROOT_INO, "b", 0)
+
+    def test_nlink_accounting(self, ns):
+        base = ns.node(ROOT_INO).inode.nlink
+        ns.mkdir(ROOT, ROOT_INO, "a", 0o755, 0)
+        assert ns.node(ROOT_INO).inode.nlink == base + 1
+        ns.rmdir(ROOT, ROOT_INO, "a", 0)
+        assert ns.node(ROOT_INO).inode.nlink == base
+
+    def test_setattr_chmod_owner_only(self, ns):
+        f, _ = ns.create(ROOT, ROOT_INO, "f", OpenFlags.O_CREAT, 0o644, 0)
+        from repro.posix import NotPermitted
+
+        with pytest.raises(NotPermitted):
+            ns.setattr(USER, f.ino, {"mode": 0o777}, 0)
+        ns.setattr(ROOT, f.ino, {"mode": 0o600}, 0)
+        assert ns.node(f.ino).inode.mode == 0o600

@@ -1,0 +1,176 @@
+"""S3FS baseline: path-keyed objects, whole-object rewrites, disk staging."""
+
+import pytest
+
+from repro.baselines import build_s3fs
+from repro.posix import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    NotADirectory,
+    NotFound,
+    OpenFlags,
+    ROOT_CREDS,
+    SyncFS,
+    UnsupportedOperation,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def s3():
+    sim = Simulator()
+    cluster = build_s3fs(sim, n_clients=2, functional=True)
+    return sim, cluster
+
+
+def fs_of(cluster, i=0):
+    return SyncFS(cluster.client(i), ROOT_CREDS)
+
+
+class TestSemantics:
+    def test_roundtrip(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/b")
+        fs.write_file("/b/f", b"s3 object", do_fsync=True)
+        assert fs.read_file("/b/f") == b"s3 object"
+        assert fs.stat("/b/f").st_size == 9
+
+    def test_keys_are_full_paths(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/deep")
+        fs.write_file("/deep/file.txt", b"x", do_fsync=True)
+        assert "deep/file.txt" in cluster.store
+        assert "deep/" in cluster.store  # directory marker object
+
+    def test_readdir_collapses_delimiter(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/d")
+        fs.mkdir("/d/sub")
+        fs.write_file("/d/a", b"", do_fsync=True)
+        fs.write_file("/d/sub/deep", b"", do_fsync=True)
+        assert fs.readdir("/d") == ["a", "sub"]
+
+    def test_mkdir_duplicate(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/d")
+        with pytest.raises(AlreadyExists):
+            fs.mkdir("/d")
+
+    def test_rmdir_rules(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"", do_fsync=True)
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/d")
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+        with pytest.raises(NotFound):
+            fs.stat("/d")
+
+    def test_dir_rename_rewrites_every_object(self, s3):
+        """The paper: "renaming of a directory leads to a situation where
+        all the files under the directory are rewritten"."""
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.mkdir("/old")
+        for i in range(5):
+            fs.write_file(f"/old/f{i}", bytes([i]) * 10, do_fsync=True)
+        puts_before = cluster.store.op_counts["put"]
+        fs.rename("/old", "/new")
+        # 5 files + 1 marker copied: at least 6 PUTs.
+        assert cluster.store.op_counts["put"] - puts_before >= 6
+        assert fs.readdir("/new") == [f"f{i}" for i in range(5)]
+        with pytest.raises(NotFound):
+            fs.stat("/old")
+
+    def test_append_rewrites_whole_object(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"A" * 100, do_fsync=True)
+        sim.run_process(cluster.client(0).drop_caches())  # discard staging
+        reads_before = cluster.store.op_counts["get"]
+        h = fs.open("/f", OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+        h.write(b"B")
+        h.close()
+        # The append forced a whole-object download before the rewrite.
+        assert cluster.store.op_counts["get"] > reads_before
+        assert fs.read_file("/f") == b"A" * 100 + b"B"
+
+    def test_no_rigorous_permission_checks(self, s3):
+        """The paper: "permission check is not done rigorously"."""
+        from repro.posix import Credentials
+
+        sim, cluster = s3
+        root = fs_of(cluster)
+        root.mkdir("/locked")
+        root.chmod("/locked", 0o700)
+        stranger = SyncFS(cluster.client(0), Credentials(999, 999))
+        stranger.write_file("/locked/intruder", b"oops", do_fsync=True)
+        assert root.read_file("/locked/intruder") == b"oops"
+
+    def test_no_coordination_between_clients(self, s3):
+        """Two mounts of one bucket see S3 state, not each other's caches:
+        an unflushed write on client0 is invisible to client1."""
+        sim, cluster = s3
+        fs0, fs1 = fs_of(cluster, 0), fs_of(cluster, 1)
+        fs0.write_file("/shared", b"v1", do_fsync=True)
+        h = fs0.open("/shared", OpenFlags.O_WRONLY | OpenFlags.O_TRUNC)
+        h.write(b"v2-staged")  # staged on client0's disk, not yet PUT
+        assert fs1.read_file("/shared") == b"v1"
+        h.close()  # flush happens here
+        # client1 still serves its stale staged copy — no invalidation.
+        assert fs1.read_file("/shared") == b"v1"
+
+    def test_acls_unsupported(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"", do_fsync=True)
+        with pytest.raises(UnsupportedOperation):
+            fs.getfacl("/f")
+
+    def test_symlink_roundtrip(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.write_file("/target", b"pointed-at", do_fsync=True)
+        fs.symlink("/target", "/ln")
+        assert fs.readlink("/ln") == "/target"
+        assert fs.read_file("/ln") == b"pointed-at"
+
+    def test_truncate(self, s3):
+        sim, cluster = s3
+        fs = fs_of(cluster)
+        fs.write_file("/f", b"0123456789", do_fsync=True)
+        fs.truncate("/f", 4)
+        assert fs.read_file("/f") == b"0123"
+
+
+class TestDiskStagingCosts:
+    def test_write_path_goes_through_disk(self):
+        """Writes must pay disk-cache bandwidth (the 5.95x gap source)."""
+        sim = Simulator()
+        cluster = build_s3fs(sim, n_clients=1, functional=True)
+        fs = fs_of(cluster)
+        payload = b"z" * 1_000_000
+        t0 = sim.now
+        fs.write_file("/big", payload, do_fsync=True)
+        elapsed = sim.now - t0
+        # 1 MB staged to disk (~160 MB/s) and read back for upload:
+        # at least 2 * 1MB / 160MB/s of disk time.
+        assert elapsed >= 2 * 1_000_000 / 160e6 * 0.9
+        assert cluster.client(0).disk.bytes_written >= 1_000_000
+
+    def test_read_path_goes_through_disk(self):
+        sim = Simulator()
+        cluster = build_s3fs(sim, n_clients=1, functional=True)
+        fs = fs_of(cluster)
+        fs.write_file("/big", b"y" * 500_000, do_fsync=True)
+        disk_reads_before = cluster.client(0).disk.bytes_read
+        # New client instance state: drop staged copy to force download.
+        sim.run_process(cluster.client(0).drop_caches())
+        fs.read_file("/big")
+        assert cluster.client(0).disk.bytes_written >= 500_000

@@ -1,0 +1,204 @@
+"""Concurrency stress: many clients hammering shared state concurrently.
+
+These tests run interleaved coroutine workloads (not sequential SyncFS
+calls), so lease hand-offs, forwarding, journal batching and cache
+coherence all overlap — then assert global invariants on the final state.
+"""
+
+import pytest
+
+from repro.core import build_arkfs, fsck
+from repro.posix import (
+    AlreadyExists,
+    FSError,
+    NotFound,
+    OpenFlags,
+    ROOT_CREDS,
+    SyncFS,
+)
+from repro.sim import Simulator
+from repro.workloads import run_phase
+
+
+def assert_fsck_clean(sim, cluster):
+    """Quiesce the cluster and run the consistency checker as an oracle."""
+    for client in cluster.clients:
+        if client.alive:
+            sim.run_process(client.sync())
+    sim.run(until=sim.now + 3)
+    report = sim.run_process(fsck(cluster.prt))
+    assert report.clean, report.summary()
+
+
+def test_concurrent_creates_in_one_directory_all_land():
+    """4 clients x 30 unique names into one shared directory."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=4, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/shared")
+
+    def worker(c):
+        client = cluster.client(c)
+        for i in range(30):
+            h = yield from client.create(ROOT_CREDS, f"/shared/c{c}-{i}")
+            yield from client.close(h)
+
+    run_phase(sim, [sim.process(worker(c)) for c in range(4)])
+    names = fs.readdir("/shared")
+    assert len(names) == 120
+    assert len(set(names)) == 120
+    assert_fsck_clean(sim, cluster)
+
+
+def test_exclusive_create_race_exactly_one_winner():
+    """All clients race O_CREAT|O_EXCL on the same name: one wins."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=4, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/race")
+    outcomes = []
+
+    def worker(c):
+        client = cluster.client(c)
+        try:
+            h = yield from client.open(
+                ROOT_CREDS, "/race/flag",
+                OpenFlags.O_CREAT | OpenFlags.O_EXCL | OpenFlags.O_WRONLY)
+            yield from client.write(h, f"winner-{c}".encode())
+            yield from client.close(h)
+            outcomes.append(("won", c))
+        except AlreadyExists:
+            outcomes.append(("lost", c))
+
+    run_phase(sim, [sim.process(worker(c)) for c in range(4)])
+    wins = [c for tag, c in outcomes if tag == "won"]
+    assert len(wins) == 1
+    assert fs.read_file("/race/flag") == f"winner-{wins[0]}".encode()
+
+
+def test_concurrent_mkdir_race_exactly_one_winner():
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=4, functional=True)
+    results = []
+
+    def worker(c):
+        client = cluster.client(c)
+        try:
+            yield from client.mkdir(ROOT_CREDS, "/contested")
+            results.append("won")
+        except AlreadyExists:
+            results.append("lost")
+
+    run_phase(sim, [sim.process(worker(c)) for c in range(4)])
+    assert results.count("won") == 1
+    assert SyncFS(cluster.client(0), ROOT_CREDS).stat("/contested").is_dir
+
+
+def test_create_delete_churn_converges_empty():
+    """Each client creates then deletes its own files in a shared dir,
+    interleaved with everyone else's churn."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=3, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/churn")
+
+    def worker(c):
+        client = cluster.client(c)
+        for i in range(20):
+            h = yield from client.create(ROOT_CREDS, f"/churn/{c}-{i}")
+            yield from client.close(h)
+        for i in range(20):
+            yield from client.unlink(ROOT_CREDS, f"/churn/{c}-{i}")
+
+    run_phase(sim, [sim.process(worker(c)) for c in range(3)])
+    assert fs.readdir("/churn") == []
+    # And the object store holds no orphaned dentries for the dir.
+    dir_ino = fs.stat("/churn").st_ino
+    sim.run(until=sim.now + 3)  # checkpoints drain
+    assert cluster.store.sync_list(
+        cluster.prt.key_dentry_prefix(dir_ino)) == []
+
+
+def test_interleaved_rename_chains_preserve_file_count():
+    """Clients shuffle files between two directories concurrently; no file
+    is lost or duplicated."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=3, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/left")
+    fs.mkdir("/right")
+    for i in range(9):
+        fs.write_file(f"/left/f{i}", bytes([i]))
+
+    def mover(c):
+        client = cluster.client(c)
+        for i in range(c, 9, 3):  # disjoint files per client
+            yield from client.rename(ROOT_CREDS, f"/left/f{i}",
+                                     f"/right/f{i}")
+            yield from client.rename(ROOT_CREDS, f"/right/f{i}",
+                                     f"/left/g{i}")
+
+    run_phase(sim, [sim.process(mover(c)) for c in range(3)])
+    left = fs.readdir("/left")
+    right = fs.readdir("/right")
+    assert len(left) + len(right) == 9
+    assert sorted(left) == [f"g{i}" for i in range(9)]
+    for i in range(9):
+        assert fs.read_file(f"/left/g{i}") == bytes([i])
+    assert_fsck_clean(sim, cluster)
+
+
+def test_mixed_readers_and_writers_on_one_file():
+    """Writers append disjoint regions while readers poll; final content
+    must contain every region exactly once."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=4, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    region = 1000
+    fs.write_file("/big", b"\x00" * (3 * region), do_fsync=True)
+
+    def writer(c):
+        client = cluster.client(c)
+        h = yield from client.open(ROOT_CREDS, "/big", OpenFlags.O_WRONLY)
+        yield from client.write(h, bytes([c + 1]) * region,
+                                offset=c * region)
+        yield from client.fsync(h)
+        yield from client.close(h)
+
+    def reader():
+        client = cluster.client(3)
+        for _ in range(5):
+            h = yield from client.open(ROOT_CREDS, "/big",
+                                       OpenFlags.O_RDONLY)
+            data = yield from client.read(h, 3 * region)
+            assert len(data) == 3 * region
+            yield from client.close(h)
+            yield sim.timeout(0.01)
+
+    run_phase(sim, [sim.process(writer(c)) for c in range(3)]
+              + [sim.process(reader())])
+    final = fs.read_file("/big")
+    for c in range(3):
+        assert final[c * region:(c + 1) * region] == bytes([c + 1]) * region
+
+
+def test_lease_handoff_under_continuous_load():
+    """Work continues across natural lease expirations (leases extend or
+    hand off without losing operations)."""
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    fs.mkdir("/longrun")
+
+    def slow_worker(c):
+        client = cluster.client(c)
+        for i in range(12):
+            h = yield from client.create(ROOT_CREDS, f"/longrun/{c}-{i}")
+            yield from client.close(h)
+            # Spread work across multiple lease periods.
+            yield sim.timeout(1.2)
+
+    run_phase(sim, [sim.process(slow_worker(c)) for c in range(2)])
+    assert sim.now > 2 * cluster.params.lease_period
+    assert len(fs.readdir("/longrun")) == 24
+    assert_fsck_clean(sim, cluster)

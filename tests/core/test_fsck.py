@@ -1,0 +1,174 @@
+"""The fsck consistency checker: clean layouts pass, each corruption class
+is detected, and it serves as an oracle after churn."""
+
+import pytest
+
+from repro.core import (
+    Dentry,
+    Inode,
+    PRT,
+    ROOT_INO,
+    Transaction,
+    build_arkfs,
+    fsck,
+)
+from repro.posix import FileType, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+
+def quiesce(sim, cluster):
+    """Flush everything and let background checkpoints drain."""
+    for client in cluster.clients:
+        if client.alive:
+            sim.run_process(client.sync())
+    sim.run(until=sim.now + 3)
+
+
+def run_fsck(sim, cluster):
+    return sim.run_process(fsck(cluster.prt))
+
+
+@pytest.fixture
+def populated(sim, cluster, fs):
+    fs.makedirs("/proj/data")
+    fs.write_file("/proj/data/a.bin", b"a" * 3000, do_fsync=True)
+    fs.write_file("/proj/data/b.bin", b"b" * 10, do_fsync=True)
+    fs.symlink("/proj/data", "/shortcut")
+    quiesce(sim, cluster)
+    return sim, cluster, fs
+
+
+class TestCleanLayouts:
+    def test_fresh_fs_is_clean(self, sim, cluster):
+        quiesce(sim, cluster)
+        r = run_fsck(sim, cluster)
+        assert r.clean
+        assert r.n_inodes == 1  # just the root
+
+    def test_populated_fs_is_clean(self, populated):
+        sim, cluster, fs = populated
+        r = run_fsck(sim, cluster)
+        assert r.clean, r.summary()
+        assert r.n_inodes == 6   # root, proj, data, a, b, symlink
+        assert r.n_dentries == 5
+        assert r.n_data_objects == 2
+
+    def test_clean_after_heavy_churn(self, populated):
+        sim, cluster, fs = populated
+        for i in range(15):
+            fs.write_file(f"/proj/f{i}", bytes([i]) * 100)
+        for i in range(0, 15, 2):
+            fs.unlink(f"/proj/f{i}")
+        fs.rename("/proj/f1", "/proj/data/moved")
+        fs.mkdir("/proj/sub")
+        fs.rmdir("/proj/sub")
+        quiesce(sim, cluster)
+        r = run_fsck(sim, cluster)
+        assert r.clean, r.summary()
+
+    def test_clean_after_crash_recovery(self, populated):
+        sim, cluster, fs = populated
+        cluster.client(0).crash()
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs1.write_file("/proj/data/post-crash", b"x", do_fsync=True)
+        quiesce(sim, cluster)
+        r = run_fsck(sim, cluster)
+        assert r.clean, r.summary()
+
+    def test_summary_format(self, populated):
+        sim, cluster, fs = populated
+        out = run_fsck(sim, cluster).summary()
+        assert out.startswith("fsck: CLEAN")
+
+
+class TestCorruptionDetection:
+    def _store(self, cluster):
+        return cluster.store
+
+    def test_missing_root(self, sim, cluster):
+        quiesce(sim, cluster)
+        cluster.store.sync_delete(PRT.key_inode(ROOT_INO))
+        r = run_fsck(sim, cluster)
+        assert any("root inode missing" in e for e in r.errors)
+
+    def test_dangling_dentry(self, populated):
+        sim, cluster, fs = populated
+        ghost = Dentry("ghost", 0xBEEF, FileType.REGULAR)
+        root_ino = fs.stat("/proj").st_ino
+        cluster.store.sync_put(PRT.key_dentry(root_ino, "ghost"),
+                               ghost.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("missing inode" in e for e in r.errors)
+
+    def test_orphan_inode(self, populated):
+        sim, cluster, fs = populated
+        orphan = Inode(ino=0xDAD, ftype=FileType.REGULAR, mode=0o644,
+                       uid=0, gid=0)
+        cluster.store.sync_put(PRT.key_inode(0xDAD), orphan.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("orphan inode" in e for e in r.errors)
+
+    def test_type_mismatch(self, populated):
+        sim, cluster, fs = populated
+        ino = fs.stat("/proj/data/a.bin").st_ino
+        dir_ino = fs.stat("/proj/data").st_ino
+        bad = Dentry("a.bin", ino, FileType.DIRECTORY)
+        cluster.store.sync_put(PRT.key_dentry(dir_ino, "a.bin"),
+                               bad.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("type" in e for e in r.errors)
+
+    def test_double_link_detected(self, populated):
+        sim, cluster, fs = populated
+        ino = fs.stat("/proj/data/a.bin").st_ino
+        root = ROOT_INO
+        dup = Dentry("hardlink", ino, FileType.REGULAR)
+        cluster.store.sync_put(PRT.key_dentry(root, "hardlink"),
+                               dup.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("hard links" in e for e in r.errors)
+
+    def test_wrong_dir_nlink(self, populated):
+        sim, cluster, fs = populated
+        ino = fs.stat("/proj").st_ino
+        raw = cluster.store.sync_get(PRT.key_inode(ino))
+        inode = Inode.from_bytes(raw)
+        inode.nlink = 99
+        cluster.store.sync_put(PRT.key_inode(ino), inode.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("nlink" in e for e in r.errors)
+
+    def test_data_past_eof(self, populated):
+        sim, cluster, fs = populated
+        ino = fs.stat("/proj/data/b.bin").st_ino  # size 10
+        cluster.store.sync_put(PRT.key_data(ino, 5), b"zzz")
+        r = run_fsck(sim, cluster)
+        assert any("past EOF" in e for e in r.errors)
+
+    def test_data_for_missing_inode(self, populated):
+        sim, cluster, fs = populated
+        cluster.store.sync_put(PRT.key_data(0xF00D, 0), b"junk")
+        r = run_fsck(sim, cluster)
+        assert any("nonexistent inode" in e for e in r.errors)
+
+    def test_leftover_journal_is_error(self, populated):
+        sim, cluster, fs = populated
+        dir_ino = fs.stat("/proj").st_ino
+        txn = Transaction("zombie", dir_ino, "update", [])
+        cluster.store.sync_put(PRT.key_journal(dir_ino, 7), txn.to_bytes())
+        r = run_fsck(sim, cluster)
+        assert any("journal transaction left behind" in e for e in r.errors)
+
+    def test_stale_decision_is_warning_only(self, populated):
+        sim, cluster, fs = populated
+        cluster.store.sync_put(PRT.key_decision("oldtx"), b"commit")
+        r = run_fsck(sim, cluster)
+        assert r.clean
+        assert any("decision" in w for w in r.warnings)
+
+    def test_corrupt_inode_object(self, populated):
+        sim, cluster, fs = populated
+        ino = fs.stat("/proj/data/a.bin").st_ino
+        cluster.store.sync_put(PRT.key_inode(ino), b"{not json")
+        r = run_fsck(sim, cluster)
+        assert any("unparseable inode" in e for e in r.errors)

@@ -1,0 +1,119 @@
+"""LeaseManagerCluster (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core import build_arkfs
+from repro.core.lease import LeaseManagerCluster
+from repro.core.params import DEFAULT_PARAMS
+from repro.posix import ROOT_CREDS, SyncFS
+from repro.sim import Network, Node, Simulator
+
+
+@pytest.fixture
+def clustered():
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True,
+                          n_lease_managers=4)
+    return sim, cluster
+
+
+class TestSharding:
+    def test_deterministic_shard_assignment(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [Node(sim, f"m{i}", net=net) for i in range(4)]
+        svc = LeaseManagerCluster(sim, nodes, DEFAULT_PARAMS)
+        assert svc.shard_of(42) is svc.shard_of(42)
+        assert svc.node_for(42) is svc.shard_of(42).node
+
+    def test_directories_spread_over_managers(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [Node(sim, f"m{i}", net=net) for i in range(4)]
+        svc = LeaseManagerCluster(sim, nodes, DEFAULT_PARAMS)
+        used = {id(svc.shard_of(i)) for i in range(200)}
+        assert len(used) == 4
+
+    def test_empty_cluster_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LeaseManagerCluster(sim, [], DEFAULT_PARAMS)
+
+
+class TestFileSystemOnCluster:
+    def test_full_semantics_still_hold(self, clustered):
+        sim, cluster = clustered
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/a/b")
+        fs0.write_file("/a/b/f", b"sharded leases", do_fsync=True)
+        assert fs1.read_file("/a/b/f") == b"sharded leases"
+        fs1.rename("/a/b/f", "/a/f2")
+        assert fs0.readdir("/a") == ["b", "f2"]
+
+    def test_leases_tracked_at_the_right_shard(self, clustered):
+        sim, cluster = clustered
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs0.mkdir("/d")
+        fs0.write_file("/d/f", b"")
+        ino = fs0.stat("/d").st_ino
+        svc = cluster.lease_service
+        assert svc.holder_of(ino) == "client0"
+        # Exactly one shard knows about it.
+        knowing = [m for m in svc.managers if m.holder_of(ino)]
+        assert len(knowing) == 1
+
+    def test_shard_crash_only_blocks_its_directories(self, clustered):
+        """Crashing one manager leaves directories on other shards usable."""
+        sim, cluster = clustered
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        svc = cluster.lease_service
+        fs0.mkdir("/x")
+        ino = fs0.stat("/x").st_ino
+        victim = svc.shard_of(ino)
+        # Find a directory landing on a DIFFERENT shard.
+        other_name = None
+        for i in range(50):
+            fs0.mkdir(f"/probe{i}")
+            if svc.shard_of(fs0.stat(f"/probe{i}").st_ino) is not victim:
+                other_name = f"/probe{i}"
+                break
+        assert other_name is not None
+        victim.crash()
+        # Directories on surviving shards keep working for new clients.
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs1.write_file(f"{other_name}/ok", b"alive")
+        assert fs0.read_file(f"{other_name}/ok") == b"alive"
+
+    def test_aggregate_stats(self, clustered):
+        sim, cluster = clustered
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs0.mkdir("/s")
+        fs0.write_file("/s/f", b"")
+        stats = cluster.lease_service.stats
+        assert stats["acquire"] >= 2  # / and /s at least
+
+
+class TestManagerScalability:
+    def test_cluster_relieves_manager_bottleneck(self):
+        """With many clients churning leases, 4 shards beat 1 manager.
+
+        Lease churn is forced with a tiny lease period so acquisition
+        traffic dominates.
+        """
+        def run(n_mgrs):
+            sim = Simulator()
+            params = DEFAULT_PARAMS.with_(lease_period=0.05,
+                                          lease_renew_margin=0.01,
+                                          lease_op_cpu=3e-3)
+            cluster = build_arkfs(sim, n_clients=16, functional=True,
+                                  params=params, n_lease_managers=n_mgrs)
+            from repro.workloads import mdtest_easy
+
+            r = mdtest_easy(sim, cluster.mounts, n_procs=16,
+                            files_per_proc=30, phases=("CREATE",))
+            return r.phases["CREATE"]
+
+        one = run(1)
+        four = run(4)
+        assert four > one * 1.3, (one, four)

@@ -1,0 +1,228 @@
+"""Model-based property test: ArkFS vs a trivial in-memory reference FS.
+
+Hypothesis generates random operation sequences (two clients, shared
+namespace); every operation is applied both to the full ArkFS stack and to
+a dict-based oracle, and results/errors must agree. This is the strongest
+semantic check in the suite: it exercises leases, forwarding, journaling
+and caching together.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import build_arkfs, fsck
+from repro.posix import FSError, OpenFlags, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+
+DIRS = ["/d0", "/d1", "/d0/sub"]
+FILES = ["f0", "f1", "f2"]
+PLACES = ["/"] + DIRS
+
+
+class Oracle:
+    """Reference model: a dict of path -> bytes, set of dirs."""
+
+    def __init__(self):
+        self.dirs = {"/"}
+        self.files = {}
+
+    def parent_ok(self, path):
+        parent = path.rsplit("/", 1)[0] or "/"
+        return parent in self.dirs
+
+    def mkdir(self, path):
+        if path in self.dirs or path in self.files:
+            return "EEXIST"
+        if not self.parent_ok(path):
+            return "ENOENT"
+        self.dirs.add(path)
+        return "ok"
+
+    def rmdir(self, path):
+        if path == "/":
+            return "EINVAL"
+        if path in self.files:
+            return "ENOTDIR"
+        if path not in self.dirs:
+            return "ENOENT"
+        if any(d != path and d.startswith(path + "/") for d in self.dirs) or \
+           any(f.startswith(path + "/") for f in self.files):
+            return "ENOTEMPTY"
+        self.dirs.discard(path)
+        return "ok"
+
+    def write(self, path, data):
+        if path in self.dirs:
+            return "EISDIR"
+        if not self.parent_ok(path):
+            return "ENOENT"
+        self.files[path] = data
+        return "ok"
+
+    def read(self, path):
+        if path in self.dirs:
+            return "EISDIR"
+        if path not in self.files:
+            return "ENOENT"
+        return self.files[path]
+
+    def unlink(self, path):
+        if path in self.dirs:
+            return "EISDIR"
+        if path not in self.files:
+            return "ENOENT"
+        del self.files[path]
+        return "ok"
+
+    def listdir(self, path):
+        if path in self.files:
+            return "ENOTDIR"
+        if path not in self.dirs:
+            return "ENOENT"
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for p in list(self.dirs) + list(self.files):
+            if p != path and p.startswith(prefix):
+                names.add(p[len(prefix):].split("/")[0])
+        return sorted(names)
+
+    def rename(self, src, dst):
+        if src == "/" or dst == "/" or dst.startswith(src + "/"):
+            return "EINVAL"
+        if src in self.files:
+            if dst in self.dirs:
+                return "EISDIR"
+            if not self.parent_ok(dst):
+                return "ENOENT"
+            self.files[dst] = self.files.pop(src)
+            return "ok"
+        if src in self.dirs:
+            if dst in self.files:
+                return "ENOTDIR"
+            if dst in self.dirs:
+                if self.listdir(dst):
+                    return "ENOTEMPTY"
+                self.dirs.discard(dst)
+            if not self.parent_ok(dst):
+                return "ENOENT"
+            # Move the whole subtree.
+            self.dirs.discard(src)
+            self.dirs.add(dst)
+            for d in [d for d in self.dirs if d.startswith(src + "/")]:
+                self.dirs.discard(d)
+                self.dirs.add(dst + d[len(src):])
+            for f in [f for f in self.files if f.startswith(src + "/")]:
+                self.files[dst + f[len(src):]] = self.files.pop(f)
+            return "ok"
+        return "ENOENT"
+
+
+op_st = st.one_of(
+    st.tuples(st.just("mkdir"), st.sampled_from(DIRS)),
+    st.tuples(st.just("rmdir"), st.sampled_from(DIRS)),
+    st.tuples(st.just("write"),
+              st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES),
+                        st.binary(max_size=64))),
+    st.tuples(st.just("read"),
+              st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES))),
+    st.tuples(st.just("unlink"),
+              st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES))),
+    st.tuples(st.just("listdir"), st.sampled_from(PLACES)),
+    st.tuples(st.just("rename"),
+              st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES),
+                        st.sampled_from(PLACES), st.sampled_from(FILES))),
+    st.tuples(st.just("client"), st.integers(0, 1)),
+)
+
+
+def path_join(d, f):
+    return (d.rstrip("/") + "/" + f)
+
+
+def fs_result(fn, *args):
+    """Run and normalize to ('ok', value) or the errno name."""
+    import errno as errmod
+
+    try:
+        value = fn(*args)
+        return ("ok", value)
+    except FSError as e:
+        return (errmod.errorcode[e.errno], None)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(ops=st.lists(op_st, max_size=40))
+def test_arkfs_agrees_with_oracle(ops):
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=2, functional=True)
+    views = [SyncFS(cluster.client(0), ROOT_CREDS),
+             SyncFS(cluster.client(1), ROOT_CREDS)]
+    fs = views[0]
+    oracle = Oracle()
+
+    for op, arg in ops:
+        if op == "client":
+            fs = views[arg]
+            continue
+        if op == "mkdir":
+            expect = oracle.mkdir(arg)
+            code, _ = fs_result(fs.mkdir, arg)
+            assert code == ("ok" if expect == "ok" else expect), (op, arg)
+        elif op == "rmdir":
+            expect = oracle.rmdir(arg)
+            code, _ = fs_result(fs.rmdir, arg)
+            assert code == ("ok" if expect == "ok" else expect), (op, arg)
+        elif op == "write":
+            d, f, data = arg
+            path = path_join(d, f)
+            expect = oracle.write(path, data)
+            code, _ = fs_result(fs.write_file, path, data)
+            assert code == ("ok" if expect == "ok" else expect), (op, path)
+        elif op == "read":
+            d, f = arg
+            path = path_join(d, f)
+            expect = oracle.read(path)
+            code, value = fs_result(fs.read_file, path)
+            if isinstance(expect, bytes):
+                assert code == "ok" and value == expect, (op, path)
+            else:
+                assert code == expect, (op, path, code)
+        elif op == "unlink":
+            d, f = arg
+            path = path_join(d, f)
+            expect = oracle.unlink(path)
+            code, _ = fs_result(fs.unlink, path)
+            assert code == ("ok" if expect == "ok" else expect), (op, path)
+        elif op == "listdir":
+            expect = oracle.listdir(arg)
+            code, value = fs_result(fs.readdir, arg)
+            if isinstance(expect, list):
+                assert code == "ok" and value == expect, (op, arg)
+            else:
+                assert code == expect, (op, arg, code)
+        elif op == "rename":
+            sd, sf, dd, df = arg
+            src, dst = path_join(sd, sf), path_join(dd, df)
+            expect = oracle.rename(src, dst)
+            code, _ = fs_result(fs.rename, src, dst)
+            if expect == "ok":
+                assert code == "ok", (op, src, dst, code)
+            else:
+                assert code != "ok", (op, src, dst)
+
+    # Final state agreement from both clients' perspectives.
+    for view in views:
+        for d in sorted(oracle.dirs):
+            assert view.stat(d).is_dir, d
+            assert view.readdir(d) == oracle.listdir(d), d
+        for f, data in oracle.files.items():
+            assert view.read_file(f) == data, f
+
+    # The on-storage layout must also be structurally consistent.
+    for client in cluster.clients:
+        sim.run_process(client.sync())
+    sim.run(until=sim.now + 3)
+    report = sim.run_process(fsck(cluster.prt))
+    assert report.clean, report.summary()

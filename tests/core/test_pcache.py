@@ -1,0 +1,143 @@
+"""Permission-caching mode (Section III-C): what gets cached, for how long,
+and what the relaxation costs."""
+
+import pytest
+
+from repro.core import DEFAULT_PARAMS, build_arkfs
+from repro.posix import Credentials, PermissionDenied, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+USER = Credentials(1000, 1000)
+
+
+def build(pcache: bool, n_clients=2):
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=n_clients, functional=True,
+                          params=DEFAULT_PARAMS.with_(
+                              permission_cache=pcache))
+    return sim, cluster
+
+
+class TestCachingBehaviour:
+    def test_remote_lookup_populates_pcache(self):
+        sim, cluster = build(True)
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/a/b")
+        fs0.write_file("/a/b/f", b"x")
+        fs1.read_file("/a/b/f")  # resolves through client0's leases
+        c1 = cluster.client(1)
+        assert c1.pcache, "ancestor permission info should be cached"
+        assert c1.pcache_dentries, "dentry mappings should be cached"
+
+    def test_no_pcache_mode_keeps_nothing(self):
+        sim, cluster = build(False)
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/a/b")
+        fs0.write_file("/a/b/f", b"x")
+        fs1.read_file("/a/b/f")
+        assert not cluster.client(1).pcache
+
+    def test_pcache_entries_expire_with_lease_period(self):
+        sim, cluster = build(True)
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/a/b")
+        fs0.write_file("/a/b/f", b"x")
+        fs1.read_file("/a/b/f")  # /a is traversed -> its perms are cached
+        c1 = cluster.client(1)
+        dir_ino = fs0.stat("/a").st_ino
+        _inode, expiry = c1.pcache[dir_ino]
+        assert expiry == pytest.approx(
+            sim.now + cluster.params.lease_period, abs=0.5)
+
+    def test_final_parent_check_stays_strict(self):
+        """pcache relaxes *traversal* checks only: the operation itself is
+        always permission-checked at the directory's leader."""
+        sim, cluster = build(True)
+        root0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        root0.makedirs("/data")
+        root0.chmod("/data", 0o755)
+        root0.write_file("/data/f", b"v", mode=0o644)
+        user1 = SyncFS(cluster.client(1), USER)
+        assert user1.read_file("/data/f") == b"v"
+        root0.chmod("/data", 0o700)
+        # /data is the *parent* of the target: checked at the leader, so
+        # the change is visible immediately even with pcache on.
+        with pytest.raises(PermissionDenied):
+            user1.read_file("/data/f")
+
+    def test_cached_lookups_skip_rpc(self):
+        """Second resolution through a cached ancestor makes no extra calls
+        to the remote leader."""
+        sim, cluster = build(True)
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/hot")
+        for i in range(3):
+            fs0.write_file(f"/hot/f{i}", b"")
+        fs1.stat("/hot/f0")
+        msgs_before = cluster.net.messages_sent
+        fs1.stat("/hot/f0")  # ancestors + dentry all cached
+        fs1.stat("/hot/f0")
+        # Only the final getattr goes remote, not the per-component lookups.
+        per_stat = (cluster.net.messages_sent - msgs_before) / 2
+        assert per_stat <= 2.5
+
+    def test_own_leadership_bypasses_pcache(self):
+        """A client never consults its pcache for directories it leads."""
+        sim, cluster = build(True)
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs0.mkdir("/mine")
+        fs0.write_file("/mine/f", b"fresh")
+        c0 = cluster.client(0)
+        dir_ino = fs0.stat("/mine").st_ino
+        assert dir_ino in c0.metatables
+        assert dir_ino not in c0.pcache
+
+
+class TestConsistencyRelaxation:
+    def test_permission_change_visible_after_lease_period(self):
+        """Ancestor permissions are the relaxed ones: a chmod on a
+        *traversed* directory becomes visible only at lease expiry."""
+        sim, cluster = build(True)
+        root0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        root0.makedirs("/data/proj")
+        root0.chmod("/data", 0o755)
+        root0.chmod("/data/proj", 0o755)
+        root0.write_file("/data/proj/f", b"v", mode=0o644)
+        user1 = SyncFS(cluster.client(1), USER)
+        assert user1.read_file("/data/proj/f") == b"v"  # warms the cache
+        root0.chmod("/data", 0o700)
+        # Stale during the lease period (the paper's documented relaxation):
+        assert user1.read_file("/data/proj/f") == b"v"
+        # Enforced after the synchronization point:
+        sim.run(until=sim.now + cluster.params.lease_period + 1)
+        with pytest.raises(PermissionDenied):
+            user1.read_file("/data/proj/f")
+
+    def test_no_pcache_mode_is_strictly_consistent(self):
+        sim, cluster = build(False)
+        root0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        root0.makedirs("/data")
+        root0.chmod("/data", 0o755)
+        root0.write_file("/data/f", b"v", mode=0o644)
+        user1 = SyncFS(cluster.client(1), USER)
+        assert user1.read_file("/data/f") == b"v"
+        root0.chmod("/data", 0o700)
+        with pytest.raises(PermissionDenied):
+            user1.read_file("/data/f")  # immediate, no caching window
+
+    def test_setattr_invalidates_own_pcache(self):
+        """The client that issues the chmod must see it at once even if it
+        had the directory cached."""
+        sim, cluster = build(True)
+        root0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        root1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        root0.makedirs("/d")
+        root1.readdir("/d")  # client1 caches /d's perms (led by client0)
+        user1 = SyncFS(cluster.client(1), USER)
+        root1.chmod("/d", 0o700)
+        with pytest.raises(PermissionDenied):
+            user1.readdir("/d")

@@ -1,0 +1,207 @@
+"""PRT: key schema, chunking, sparse data path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PRT, Dentry, Inode
+from repro.objectstore import InMemoryObjectStore
+from repro.posix import FileType
+from repro.sim import Simulator
+
+
+OSZ = 64  # tiny object size so tests exercise chunk boundaries
+
+
+@pytest.fixture
+def prt():
+    sim = Simulator()
+    store = InMemoryObjectStore(sim)
+    return sim, PRT(store, data_object_size=OSZ)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestKeys:
+    def test_prefixes_match_paper(self):
+        assert PRT.key_inode(5).startswith("i")
+        assert PRT.key_dentry(5, "f").startswith("e")
+        assert PRT.key_journal(5, 0).startswith("j")
+        assert PRT.key_data(5, 0).startswith("d")
+
+    def test_key_formats(self):
+        assert PRT.key_inode(0xAB) == "i" + "0" * 30 + "ab"
+        assert PRT.key_dentry(1, "x.txt").endswith("/x.txt")
+        assert PRT.key_journal(1, 7).endswith("/000000000007")
+        assert PRT.key_data(1, 3).endswith("/0000000003")
+
+    def test_data_keys_sort_numerically(self):
+        keys = [PRT.key_data(1, i) for i in (0, 1, 2, 10, 100)]
+        assert keys == sorted(keys)
+
+    def test_journal_keys_sort_numerically(self):
+        keys = [PRT.key_journal(1, i) for i in (0, 1, 9, 10, 11, 100)]
+        assert keys == sorted(keys)
+
+
+class TestChunking:
+    def test_aligned_whole_objects(self):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        assert p.chunk_range(0, 2 * OSZ) == [(0, 0, OSZ), (1, 0, OSZ)]
+
+    def test_unaligned_range(self):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        assert p.chunk_range(10, OSZ) == [(0, 10, OSZ - 10), (1, 0, 10)]
+
+    def test_within_one_object(self):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        assert p.chunk_range(5, 6) == [(0, 5, 6)]
+
+    def test_empty_range(self):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        assert p.chunk_range(100, 0) == []
+
+    def test_negative_rejected(self):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        with pytest.raises(ValueError):
+            p.chunk_range(-1, 5)
+
+    @given(offset=st.integers(0, 1000), length=st.integers(0, 1000))
+    def test_pieces_cover_range_exactly(self, offset, length):
+        p = PRT(InMemoryObjectStore(Simulator()), OSZ)
+        pieces = p.chunk_range(offset, length)
+        assert sum(n for _, _, n in pieces) == length
+        pos = offset
+        for idx, off, n in pieces:
+            assert idx * OSZ + off == pos
+            assert 0 < n <= OSZ
+            assert off + n <= OSZ
+            pos += n
+
+
+class TestMetadataObjects:
+    def test_inode_roundtrip(self, prt):
+        sim, p = prt
+        inode = Inode(ino=77, ftype=FileType.REGULAR, mode=0o644, uid=1,
+                      gid=1, size=10)
+        run(sim, p.put_inode(inode))
+        assert run(sim, p.get_inode(77)) == inode
+        assert run(sim, p.inode_exists(77))
+        run(sim, p.delete_inode(77))
+        assert not run(sim, p.inode_exists(77))
+
+    def test_delete_inode_idempotent(self, prt):
+        sim, p = prt
+        run(sim, p.delete_inode(123))  # no error
+
+    def test_dentry_listing_sorted(self, prt):
+        sim, p = prt
+        for name in ["zeta", "alpha", "mid"]:
+            run(sim, p.put_dentry(5, Dentry(name, 1, FileType.REGULAR)))
+        names = [d.name for d in run(sim, p.list_dentries(5))]
+        assert names == ["alpha", "mid", "zeta"]
+
+    def test_dentries_of_different_dirs_isolated(self, prt):
+        sim, p = prt
+        run(sim, p.put_dentry(1, Dentry("a", 10, FileType.REGULAR)))
+        run(sim, p.put_dentry(2, Dentry("b", 11, FileType.REGULAR)))
+        assert [d.name for d in run(sim, p.list_dentries(1))] == ["a"]
+
+    def test_get_dentry(self, prt):
+        sim, p = prt
+        d = Dentry("f", 9, FileType.SYMLINK)
+        run(sim, p.put_dentry(3, d))
+        assert run(sim, p.get_dentry(3, "f")) == d
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, prt):
+        sim, p = prt
+        data = bytes(range(200)) + b"tail"
+        run(sim, p.write_data(9, 0, data))
+        assert run(sim, p.read_data(9, 0, len(data), len(data))) == data
+
+    def test_write_spans_multiple_objects(self, prt):
+        sim, p = prt
+        data = b"x" * (3 * OSZ + 7)
+        run(sim, p.write_data(9, 0, data))
+        keys = p.store.sync_list(p.key_data_prefix(9))
+        assert len(keys) == 4
+
+    def test_partial_overwrite_rmw(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"A" * (2 * OSZ)))
+        run(sim, p.write_data(9, 10, b"B" * 5))
+        out = run(sim, p.read_data(9, 0, 2 * OSZ, 2 * OSZ))
+        assert out == b"A" * 10 + b"B" * 5 + b"A" * (2 * OSZ - 15)
+
+    def test_cross_boundary_overwrite(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"A" * (2 * OSZ)))
+        run(sim, p.write_data(9, OSZ - 3, b"B" * 6))
+        out = run(sim, p.read_data(9, OSZ - 3, 6, 2 * OSZ))
+        assert out == b"B" * 6
+
+    def test_sparse_holes_read_as_zeros(self, prt):
+        sim, p = prt
+        # Write only object 2; objects 0..1 are holes.
+        run(sim, p.write_data(9, 2 * OSZ, b"Z" * 10))
+        size = 2 * OSZ + 10
+        out = run(sim, p.read_data(9, 0, size, size))
+        assert out == b"\x00" * (2 * OSZ) + b"Z" * 10
+
+    def test_read_clipped_by_file_size(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"abc"))
+        assert run(sim, p.read_data(9, 0, 100, 3)) == b"abc"
+        assert run(sim, p.read_data(9, 5, 10, 3)) == b""
+
+    def test_truncate_shrinks(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"x" * (3 * OSZ)))
+        run(sim, p.truncate_data(9, 3 * OSZ, OSZ + 5))
+        keys = p.store.sync_list(p.key_data_prefix(9))
+        assert len(keys) == 2
+        assert p.store.sync_head(p.key_data(9, 1)) == 5
+
+    def test_truncate_to_zero_removes_all(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"x" * (2 * OSZ)))
+        run(sim, p.truncate_data(9, 2 * OSZ, 0))
+        assert p.store.sync_list(p.key_data_prefix(9)) == []
+
+    def test_truncate_grow_is_noop(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"x" * 10))
+        run(sim, p.truncate_data(9, 10, 100))
+        assert run(sim, p.read_data(9, 0, 10, 10)) == b"x" * 10
+
+    def test_delete_data(self, prt):
+        sim, p = prt
+        run(sim, p.write_data(9, 0, b"x" * (2 * OSZ + 1)))
+        n = run(sim, p.delete_data(9))
+        assert n == 3
+        assert p.store.sync_list(p.key_data_prefix(9)) == []
+
+    def test_object_size_limit_enforced(self, prt):
+        sim, p = prt
+        with pytest.raises(ValueError):
+            run(sim, p.write_object(9, 0, b"x" * (OSZ + 1)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 5 * OSZ), st.binary(min_size=1, max_size=OSZ)),
+        min_size=1, max_size=8))
+    def test_write_read_matches_bytearray_model(self, writes):
+        """PRT's chunked data path behaves like one flat byte array."""
+        sim = Simulator()
+        p = PRT(InMemoryObjectStore(sim), OSZ)
+        model = bytearray()
+        for offset, data in writes:
+            sim.run_process(p.write_data(1, offset, data))
+            if len(model) < offset:
+                model += b"\x00" * (offset - len(model))
+            model[offset:offset + len(data)] = data
+        out = sim.run_process(p.read_data(1, 0, len(model), len(model)))
+        assert out == bytes(model)

@@ -1,0 +1,133 @@
+"""RadixTree: the cache index (unit + property tests)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RadixTree
+
+
+def test_empty_tree():
+    t = RadixTree()
+    assert len(t) == 0
+    assert not t
+    assert t.get(0) is None
+    assert 5 not in t
+    assert list(t.items()) == []
+
+
+def test_set_get_single():
+    t = RadixTree()
+    t.set(0, "a")
+    assert t.get(0) == "a"
+    assert len(t) == 1
+    assert 0 in t
+
+
+def test_overwrite_does_not_grow():
+    t = RadixTree()
+    t.set(3, "x")
+    t.set(3, "y")
+    assert t.get(3) == "y"
+    assert len(t) == 1
+
+
+def test_large_keys_grow_height():
+    t = RadixTree()
+    t.set(0, "small")
+    assert t.height == 1
+    t.set(1 << 18, "big")  # needs 4 levels of 6 bits
+    assert t.height == 4
+    assert t.get(0) == "small"
+    assert t.get(1 << 18) == "big"
+
+
+def test_shallow_depth_for_typical_file():
+    """A 1 GiB file of 2 MiB objects has max index 511: 2 levels."""
+    t = RadixTree()
+    t.set(511, object())
+    assert t.height <= 2
+
+
+def test_delete():
+    t = RadixTree()
+    t.set(7, "v")
+    assert t.delete(7) is True
+    assert t.get(7) is None
+    assert len(t) == 0
+    assert t.delete(7) is False
+
+
+def test_delete_prunes_to_empty():
+    t = RadixTree()
+    t.set(1 << 12, "v")
+    t.delete(1 << 12)
+    assert t.height == 0
+    assert not t
+
+
+def test_items_in_key_order():
+    t = RadixTree()
+    for k in [100, 3, 77, 0, 65]:
+        t.set(k, k * 10)
+    assert list(t.items()) == [(0, 0), (3, 30), (65, 650), (77, 770),
+                               (100, 1000)]
+    assert list(t.keys()) == [0, 3, 65, 77, 100]
+
+
+def test_negative_key_rejected():
+    t = RadixTree()
+    with pytest.raises(ValueError):
+        t.set(-1, "x")
+    assert t.get(-1) is None
+    assert t.delete(-1) is False
+
+
+def test_none_value_rejected():
+    t = RadixTree()
+    with pytest.raises(ValueError):
+        t.set(0, None)
+
+
+def test_clear():
+    t = RadixTree()
+    for k in range(50):
+        t.set(k, k)
+    t.clear()
+    assert len(t) == 0
+    assert t.get(10) is None
+
+
+def test_get_beyond_height_is_none():
+    t = RadixTree()
+    t.set(1, "x")
+    assert t.get(1 << 30) is None
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.integers(0, 1 << 24),
+                          st.sampled_from(["set", "del"])), max_size=200))
+def test_matches_dict_reference(operations):
+    """The radix tree behaves exactly like a dict under set/delete."""
+    t = RadixTree()
+    ref = {}
+    for key, op in operations:
+        if op == "set":
+            t.set(key, key ^ 0xABC)
+            ref[key] = key ^ 0xABC
+        else:
+            assert t.delete(key) == (key in ref)
+            ref.pop(key, None)
+    assert len(t) == len(ref)
+    assert dict(t.items()) == ref
+    assert list(t.keys()) == sorted(ref)
+
+
+@given(st.sets(st.integers(0, 1 << 20), max_size=80))
+def test_delete_everything_empties_tree(keys):
+    t = RadixTree()
+    for k in keys:
+        t.set(k, "v")
+    for k in keys:
+        assert t.delete(k)
+    assert len(t) == 0
+    assert t.height == 0

@@ -1,0 +1,173 @@
+"""RENAME semantics: same-directory, cross-directory 2PC, overwrite rules."""
+
+import pytest
+
+from repro.posix import (
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    DirectoryNotEmpty,
+)
+
+
+class TestSameDirectory:
+    def test_rename_file(self, fs):
+        fs.write_file("/a.txt", b"data")
+        fs.rename("/a.txt", "/b.txt")
+        assert not fs.exists("/a.txt")
+        assert fs.read_file("/b.txt") == b"data"
+
+    def test_rename_preserves_inode(self, fs):
+        fs.write_file("/a", b"x")
+        ino = fs.stat("/a").st_ino
+        fs.rename("/a", "/b")
+        assert fs.stat("/b").st_ino == ino
+
+    def test_rename_to_self_is_noop(self, fs):
+        fs.write_file("/a", b"keep")
+        fs.rename("/a", "/a")
+        assert fs.read_file("/a") == b"keep"
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(NotFound):
+            fs.rename("/ghost", "/dst")
+
+    def test_rename_overwrites_file(self, fs):
+        fs.write_file("/src", b"new")
+        fs.write_file("/dst", b"old")
+        fs.rename("/src", "/dst")
+        assert fs.read_file("/dst") == b"new"
+        assert not fs.exists("/src")
+
+    def test_rename_dir_over_file_fails(self, fs):
+        fs.mkdir("/d")
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):  # ENOTDIR, as rename(2) specifies
+            fs.rename("/d", "/f")
+
+    def test_rename_file_over_dir_fails(self, fs):
+        fs.write_file("/f", b"")
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):  # EISDIR
+            fs.rename("/f", "/d")
+
+    def test_rename_dir_over_empty_dir(self, fs):
+        fs.mkdir("/src")
+        fs.write_file("/src/f", b"inner")
+        fs.mkdir("/dst")
+        fs.rename("/src", "/dst")
+        assert fs.read_file("/dst/f") == b"inner"
+
+    def test_rename_dir_over_nonempty_dir_fails(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        fs.write_file("/dst/blocker", b"")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rename("/src", "/dst")
+
+    def test_rename_directory_keeps_contents(self, fs):
+        fs.makedirs("/olddir/sub")
+        fs.write_file("/olddir/sub/deep", b"deep data")
+        fs.rename("/olddir", "/newdir")
+        assert fs.read_file("/newdir/sub/deep") == b"deep data"
+        assert not fs.exists("/olddir")
+
+
+class TestCrossDirectory:
+    def test_move_file(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        fs.write_file("/src/f", b"moved bytes")
+        fs.rename("/src/f", "/dst/g")
+        assert not fs.exists("/src/f")
+        assert fs.read_file("/dst/g") == b"moved bytes"
+
+    def test_move_preserves_inode_and_data_objects(self, fs, cluster):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        osz = cluster.params.data_object_size
+        payload = b"k" * (osz + 100)
+        fs.write_file("/src/f", payload, do_fsync=True)
+        ino = fs.stat("/src/f").st_ino
+        fs.rename("/src/f", "/dst/f")
+        assert fs.stat("/dst/f").st_ino == ino
+        assert fs.read_file("/dst/f") == payload
+
+    def test_move_directory(self, fs):
+        fs.makedirs("/a/deep")
+        fs.mkdir("/b")
+        fs.write_file("/a/deep/f", b"content")
+        fs.rename("/a/deep", "/b/moved")
+        assert fs.read_file("/b/moved/f") == b"content"
+        assert fs.readdir("/a") == []
+
+    def test_move_updates_nlink_counts(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.mkdir("/a/sub")
+        a_before = fs.stat("/a").st_nlink
+        b_before = fs.stat("/b").st_nlink
+        fs.rename("/a/sub", "/b/sub")
+        assert fs.stat("/a").st_nlink == a_before - 1
+        assert fs.stat("/b").st_nlink == b_before + 1
+
+    def test_move_into_own_subtree_fails(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/a", "/a/b/c")
+
+    def test_rename_root_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/", "/d/root")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/d", "/")
+
+    def test_cross_dir_overwrite_file(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        fs.write_file("/src/f", b"new")
+        fs.write_file("/dst/f", b"old", do_fsync=True)
+        fs.rename("/src/f", "/dst/f")
+        assert fs.read_file("/dst/f") == b"new"
+
+    def test_cross_dir_between_leaders(self, fs, fs2):
+        """Source led by client0, destination led by client1: full 2PC."""
+        fs.mkdir("/c0dir")
+        fs2.mkdir("/c1dir")
+        fs.write_file("/c0dir/f", b"traveller")   # client0 leads /c0dir
+        fs2.write_file("/c1dir/seed", b"")        # client1 leads /c1dir
+        fs.rename("/c0dir/f", "/c1dir/f")
+        assert fs2.read_file("/c1dir/f") == b"traveller"
+        assert not fs.exists("/c0dir/f")
+
+    def test_decision_record_cleaned_up(self, fs, cluster):
+        fs.mkdir("/s")
+        fs.mkdir("/d")
+        fs.write_file("/s/f", b"x")
+        fs.rename("/s/f", "/d/f")
+        leftovers = cluster.store.sync_list("t") if hasattr(
+            cluster.store, "sync_list") else cluster.store.backing.sync_list("t")
+        assert leftovers == []
+
+    def test_journals_clean_after_2pc(self, fs, cluster, sim):
+        fs.mkdir("/s")
+        fs.mkdir("/d")
+        fs.write_file("/s/f", b"x")
+        fs.rename("/s/f", "/d/f")
+        sim.run(until=sim.now + 3)  # allow checkpoints
+        journal_keys = cluster.store.sync_list("j") if hasattr(
+            cluster.store, "sync_list") else []
+        assert journal_keys == []
+
+    def test_open_handle_survives_rename(self, fs):
+        fs.mkdir("/s")
+        fs.mkdir("/d")
+        fs.write_file("/s/f", b"0123456789", do_fsync=True)
+        from repro.posix import OpenFlags
+        h = fs.open("/s/f", OpenFlags.O_RDONLY)
+        fs.rename("/s/f", "/d/f")
+        # Data objects are keyed by ino: reads keep working.
+        assert h.read(4) == b"0123"
+        h.close()

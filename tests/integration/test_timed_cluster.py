@@ -1,0 +1,112 @@
+"""End-to-end integration on the *timed* substrates.
+
+Most semantic tests use the zero-latency functional store; these run the
+whole stack — FUSE mounts, RADOS-profile OSD cluster, network, journaling —
+with real timing, asserting both semantics and coarse timing sanity.
+"""
+
+import pytest
+
+from repro.bench.harness import NET_50G, build
+from repro.posix import OpenFlags, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+from repro.workloads import mdtest_easy, run_phase
+
+
+class TestArkFSOnRados:
+    @pytest.fixture
+    def arkfs(self):
+        sim = Simulator()
+        cluster, mounts = build("arkfs", sim, n_clients=2, net=NET_50G)
+        return sim, cluster, mounts
+
+    def test_semantics_survive_the_timing_layer(self, arkfs):
+        sim, cluster, mounts = arkfs
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        fs0.makedirs("/a/b/c")
+        payload = bytes(range(256)) * 1024  # 256 KiB
+        fs0.write_file("/a/b/c/data", payload, do_fsync=True)
+        assert fs1.read_file("/a/b/c/data") == payload
+        fs1.rename("/a/b/c/data", "/a/moved")
+        assert fs0.read_file("/a/moved") == payload
+        assert sim.now > 0  # time actually passed
+
+    def test_operations_cost_simulated_time(self, arkfs):
+        sim, cluster, mounts = arkfs
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        t0 = sim.now
+        fs.mkdir("/d")
+        mkdir_cost = sim.now - t0
+        # mkdir checkpoints eagerly: at least one storage round trip (~ms).
+        assert mkdir_cost > 1e-4
+
+    def test_fsync_is_much_cheaper_than_checkpoint(self, arkfs):
+        """fsync commits one compound journal object, not per-file state."""
+        sim, cluster, mounts = arkfs
+        client = cluster.client(0)
+        mount = mounts[0]
+
+        def burst():
+            yield from mount.mkdir(ROOT_CREDS, "/burst")
+            handles = []
+            for i in range(50):
+                h = yield from mount.open(
+                    ROOT_CREDS, f"/burst/f{i}",
+                    OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+                yield from mount.close(h)
+                handles.append(h)
+            t0 = sim.now
+            yield from client.sync()
+            return sim.now - t0
+
+        sync_cost = sim.run_process(burst())
+        # One commit PUT (~1 ms), not 50 inode PUTs (~50 ms serial).
+        assert sync_cost < 0.02, sync_cost
+
+    def test_crash_recovery_with_real_timing(self, arkfs):
+        sim, cluster, mounts = arkfs
+        fs0 = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs0.mkdir("/w")
+        fs0.write_file("/w/f", b"survives", do_fsync=True)
+        cluster.client(0).crash()
+        fs1 = SyncFS(cluster.client(1), ROOT_CREDS)
+        assert fs1.read_file("/w/f") == b"survives"
+
+
+class TestCrossSystemOrderings:
+    """Tiny versions of the headline comparisons, as fast regression tests
+    (full-size versions live in benchmarks/)."""
+
+    def _create_rate(self, kind):
+        sim = Simulator()
+        _cluster, mounts = build(kind, sim, n_clients=2, net=NET_50G)
+        r = mdtest_easy(sim, mounts, n_procs=4, files_per_proc=40,
+                        phases=("CREATE",))
+        return r.phases["CREATE"]
+
+    def test_arkfs_beats_cephfs_on_metadata(self):
+        assert self._create_rate("arkfs") > 2 * self._create_rate("cephfs-k")
+
+    def test_cephfs_kernel_beats_fuse(self):
+        assert self._create_rate("cephfs-k") > self._create_rate("marfs")
+
+
+class TestBaselinesOnTimedStores:
+    def test_s3fs_full_cycle_on_s3_profile(self):
+        sim = Simulator()
+        cluster, mounts = build("s3fs", sim, n_clients=1, net=NET_50G)
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        fs.mkdir("/b")
+        fs.write_file("/b/o", b"s3 bytes", do_fsync=True)
+        assert fs.read_file("/b/o") == b"s3 bytes"
+        assert sim.now > 0.02  # S3 latencies are tens of ms
+
+    def test_goofys_streaming_on_s3_profile(self):
+        sim = Simulator()
+        cluster, mounts = build("goofys", sim, n_clients=1, net=NET_50G)
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        payload = b"g" * (6 * 1024 * 1024)
+        fs.write_file("/stream", payload, do_fsync=True)
+        assert fs.stat("/stream").st_size == len(payload)
+        assert fs.read_file("/stream") == payload

@@ -1,0 +1,133 @@
+"""Functional semantics of the in-memory object store."""
+
+import pytest
+
+from repro.objectstore import InMemoryObjectStore, NoSuchKey
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def store():
+    sim = Simulator()
+    return sim, InMemoryObjectStore(sim)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_put_get_roundtrip(store):
+    sim, s = store
+    run(sim, s.put("k1", b"hello"))
+    assert run(sim, s.get("k1")) == b"hello"
+
+
+def test_get_missing_raises(store):
+    sim, s = store
+    with pytest.raises(NoSuchKey):
+        run(sim, s.get("missing"))
+
+
+def test_put_overwrites(store):
+    sim, s = store
+    run(sim, s.put("k", b"v1"))
+    run(sim, s.put("k", b"v2"))
+    assert run(sim, s.get("k")) == b"v2"
+    assert len(s) == 1
+
+
+def test_delete_removes(store):
+    sim, s = store
+    run(sim, s.put("k", b"v"))
+    run(sim, s.delete("k"))
+    assert "k" not in s
+    with pytest.raises(NoSuchKey):
+        run(sim, s.get("k"))
+
+
+def test_delete_missing_raises(store):
+    sim, s = store
+    with pytest.raises(NoSuchKey):
+        run(sim, s.delete("nope"))
+
+
+def test_head_returns_size(store):
+    sim, s = store
+    run(sim, s.put("k", b"12345"))
+    assert run(sim, s.head("k")) == 5
+
+
+def test_head_missing_raises(store):
+    sim, s = store
+    with pytest.raises(NoSuchKey):
+        run(sim, s.head("k"))
+
+
+def test_get_range(store):
+    sim, s = store
+    run(sim, s.put("k", b"0123456789"))
+    assert run(sim, s.get_range("k", 2, 4)) == b"2345"
+    assert run(sim, s.get_range("k", 8, 100)) == b"89"
+    assert run(sim, s.get_range("k", 20, 5)) == b""
+
+
+def test_list_prefix_sorted(store):
+    sim, s = store
+    for k in ["b/2", "a/1", "b/1", "b/10", "c"]:
+        run(sim, s.put(k, b"x"))
+    assert run(sim, s.list("b/")) == ["b/1", "b/10", "b/2"]
+    assert run(sim, s.list("")) == ["a/1", "b/1", "b/10", "b/2", "c"]
+    assert run(sim, s.list("zz")) == []
+
+
+def test_list_prefix_excludes_siblings(store):
+    sim, s = store
+    run(sim, s.put("ab", b"x"))
+    run(sim, s.put("ac", b"x"))
+    assert run(sim, s.list("ab")) == ["ab"]
+
+
+def test_exists_helper(store):
+    sim, s = store
+    run(sim, s.put("k", b"v"))
+    assert run(sim, s.exists("k")) is True
+    assert run(sim, s.exists("nope")) is False
+
+
+def test_delete_prefix(store):
+    sim, s = store
+    for k in ["j/1", "j/2", "j/3", "i/1"]:
+        run(sim, s.put(k, b"x"))
+    assert run(sim, s.delete_prefix("j/")) == 3
+    assert run(sim, s.list("")) == ["i/1"]
+
+
+def test_value_must_be_bytes(store):
+    sim, s = store
+    with pytest.raises(TypeError):
+        run(sim, s.put("k", "a string"))
+
+
+def test_values_are_copied(store):
+    sim, s = store
+    buf = bytearray(b"abc")
+    run(sim, s.put("k", buf))
+    buf[0] = ord("z")
+    assert run(sim, s.get("k")) == b"abc"
+
+
+def test_op_counts_track_usage(store):
+    sim, s = store
+    run(sim, s.put("k", b"v"))
+    run(sim, s.get("k"))
+    run(sim, s.get("k"))
+    run(sim, s.list(""))
+    assert s.op_counts["put"] == 1
+    assert s.op_counts["get"] == 2
+    assert s.op_counts["list"] == 1
+
+
+def test_unicode_keys(store):
+    sim, s = store
+    run(sim, s.put("dir/ファイル.txt", b"data"))
+    assert run(sim, s.list("dir/")) == ["dir/ファイル.txt"]

@@ -1,0 +1,204 @@
+"""The FUSE/kernel mount model: LOOKUP decomposition, dcache, locks."""
+
+import pytest
+
+from repro.core import build_arkfs
+from repro.posix import (
+    FUSE_DEFAULTS,
+    FuseMount,
+    KernelMount,
+    MountParams,
+    NotFound,
+    OpenFlags,
+    ROOT_CREDS,
+)
+from repro.sim import Simulator
+from repro.workloads import run_phase
+
+
+@pytest.fixture
+def mounted():
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=1, functional=True)
+    return sim, cluster, cluster.mounts[0]
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestLookupDecomposition:
+    def test_deep_path_issues_per_component_lookups(self, mounted):
+        sim, cluster, mount = mounted
+
+        def setup():
+            yield from mount.mkdir(ROOT_CREDS, "/a")
+            yield from mount.mkdir(ROOT_CREDS, "/a/b")
+            yield from mount.mkdir(ROOT_CREDS, "/a/b/c")
+
+        run(sim, setup())
+        mount.invalidate_dcache()
+        before = mount.request_count
+        run(sim, mount.stat(ROOT_CREDS, "/a/b/c"))
+        # Three LOOKUPs (a, b, c) plus the GETATTR request itself.
+        assert mount.request_count - before == 4
+
+    def test_dcache_absorbs_repeat_lookups(self, mounted):
+        sim, cluster, mount = mounted
+        run(sim, mount.mkdir(ROOT_CREDS, "/d"))
+
+        def touch(i):
+            h = yield from mount.open(
+                ROOT_CREDS, f"/d/f{i}",
+                OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+            yield from mount.close(h)
+
+        run(sim, touch(0))
+        count_first = mount.request_count
+        run(sim, touch(1))
+        delta = mount.request_count - count_first
+        # Second create resolves /d from the dcache: fewer requests.
+        assert delta <= 3
+
+    def test_dcache_expires_after_ttl(self, mounted):
+        sim, cluster, mount = mounted
+        run(sim, mount.mkdir(ROOT_CREDS, "/d"))
+        run(sim, mount.stat(ROOT_CREDS, "/d"))
+        before = mount.request_count
+        sim.run(until=sim.now + mount.params.entry_ttl + 0.1)
+        run(sim, mount.stat(ROOT_CREDS, "/d"))
+        assert mount.request_count - before >= 2  # LOOKUP again + GETATTR
+
+    def test_negative_lookup_propagates_enoent(self, mounted):
+        sim, cluster, mount = mounted
+        with pytest.raises(NotFound):
+            run(sim, mount.stat(ROOT_CREDS, "/nope"))
+
+    def test_unlink_drops_dentry(self, mounted):
+        sim, cluster, mount = mounted
+        run(sim, mount.write_file(ROOT_CREDS, "/f", b"x"))
+        run(sim, mount.stat(ROOT_CREDS, "/f"))
+        run(sim, mount.unlink(ROOT_CREDS, "/f"))
+        with pytest.raises(NotFound):
+            run(sim, mount.stat(ROOT_CREDS, "/f"))
+
+    def test_rename_invalidates_subtree(self, mounted):
+        sim, cluster, mount = mounted
+
+        def setup():
+            yield from mount.mkdir(ROOT_CREDS, "/old")
+            yield from mount.write_file(ROOT_CREDS, "/old/f", b"v")
+            st = yield from mount.stat(ROOT_CREDS, "/old/f")  # warm dcache
+            yield from mount.rename(ROOT_CREDS, "/old", "/new")
+            return st
+
+        run(sim, setup())
+        with pytest.raises(NotFound):
+            run(sim, mount.stat(ROOT_CREDS, "/old/f"))
+        assert run(sim, mount.read_file(ROOT_CREDS, "/new/f")) == b"v"
+
+
+class TestLockingModel:
+    def test_fuse_lookup_lock_serializes_same_directory(self):
+        """Concurrent LOOKUPs in one directory serialize on a FUSE mount
+        (the paper's STAT-phase effect), but not on a kernel mount."""
+
+        def run_stats(mount_cls, params):
+            sim = Simulator()
+            cluster = build_arkfs(sim, n_clients=1, functional=True)
+            inner = cluster.clients[0]
+            mount = mount_cls(inner, inner.node, params)
+
+            def setup():
+                yield from mount.mkdir(ROOT_CREDS, "/shared")
+                for i in range(4):
+                    yield from mount.write_file(ROOT_CREDS,
+                                                f"/shared/f{i}", b"")
+
+            run_phase(sim, [sim.process(setup())])
+            mount.invalidate_dcache()
+
+            def stat_worker(i):
+                for _ in range(50):
+                    mount.invalidate_dcache()
+                    yield from mount.stat(ROOT_CREDS, f"/shared/f{i}")
+
+            t0 = sim.now
+            run_phase(sim, [sim.process(stat_worker(i)) for i in range(4)])
+            return sim.now - t0
+
+        slow_params = MountParams(crossing_latency=100e-6,
+                                  lookup_locked=True)
+        fuse_time = run_stats(FuseMount, slow_params)
+        nolock = MountParams(crossing_latency=100e-6, lookup_locked=False)
+        free_time = run_stats(FuseMount, nolock)
+        assert fuse_time > free_time  # exclusive lookup lock costs
+
+    def test_global_lock_serializes_the_whole_mount(self):
+        def run_creates(params):
+            sim = Simulator()
+            cluster = build_arkfs(sim, n_clients=1, functional=True)
+            inner = cluster.clients[0]
+            mount = FuseMount(inner, inner.node, params)
+
+            def setup():
+                for i in range(4):
+                    yield from mount.mkdir(ROOT_CREDS, f"/w{i}")
+
+            run_phase(sim, [sim.process(setup())])
+
+            def worker(i):
+                for j in range(40):
+                    h = yield from mount.open(
+                        ROOT_CREDS, f"/w{i}/f{j}",
+                        OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+                    yield from mount.close(h)
+
+            t0 = sim.now
+            run_phase(sim, [sim.process(worker(i)) for i in range(4)])
+            return sim.now - t0
+
+        unlocked = run_creates(FUSE_DEFAULTS)
+        locked = run_creates(MountParams(global_lock_service=200e-6))
+        assert locked > 2 * unlocked
+
+    def test_kernel_mount_cheaper_than_fuse(self, mounted):
+        def one_create(mount_cls, params):
+            sim = Simulator()
+            cluster = build_arkfs(sim, n_clients=1, functional=True)
+            inner = cluster.clients[0]
+            mount = mount_cls(inner, inner.node, params)
+
+            def work():
+                for i in range(100):
+                    h = yield from mount.open(
+                        ROOT_CREDS, f"/f{i}",
+                        OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+                    yield from mount.close(h)
+
+            t0 = sim.now
+            run_phase(sim, [sim.process(work())])
+            return sim.now - t0
+
+        from repro.posix import KERNEL_DEFAULTS
+
+        fuse_t = one_create(FuseMount, FUSE_DEFAULTS)
+        kernel_t = one_create(KernelMount, KERNEL_DEFAULTS)
+        assert kernel_t < fuse_t
+
+
+class TestDataRequests:
+    def test_large_io_split_into_max_request_chunks(self, mounted):
+        sim, cluster, mount = mounted
+        run(sim, mount.write_file(ROOT_CREDS, "/f", b"z" * (512 * 1024)))
+
+        def read_big():
+            h = yield from mount.open(ROOT_CREDS, "/f", OpenFlags.O_RDONLY)
+            before = mount.request_count
+            yield from mount.read(h, 512 * 1024)
+            yield from mount.close(h)
+            return mount.request_count - before
+
+        # 512 KiB at 128 KiB max_request = 4 data requests (+1 for close).
+        delta = run(sim, read_big())
+        assert delta >= 4

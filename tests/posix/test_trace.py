@@ -1,0 +1,92 @@
+"""The TracingClient wrapper: transparent, accurate, composable."""
+
+import pytest
+
+from repro.core import build_arkfs
+from repro.posix import (
+    NotFound,
+    OpenFlags,
+    ROOT_CREDS,
+    SyncFS,
+    TracingClient,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def traced():
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=1)  # timed store: latencies real
+    tracer = TracingClient(cluster.mount(0))
+    return sim, cluster, tracer, SyncFS(tracer, ROOT_CREDS)
+
+
+class TestTransparency:
+    def test_results_pass_through(self, traced):
+        sim, cluster, tracer, fs = traced
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"traced bytes", do_fsync=True)
+        assert fs.read_file("/d/f") == b"traced bytes"
+        assert fs.readdir("/d") == ["f"]
+        assert fs.stat("/d/f").st_size == 12
+
+    def test_errors_pass_through_and_are_counted(self, traced):
+        sim, cluster, tracer, fs = traced
+        with pytest.raises(NotFound):
+            fs.stat("/ghost")
+        assert tracer.traces["stat"].errors == 1
+
+
+class TestAccounting:
+    def test_counts_per_operation(self, traced):
+        sim, cluster, tracer, fs = traced
+        fs.mkdir("/d")
+        for i in range(5):
+            fs.write_file(f"/d/f{i}", b"x")
+        assert tracer.traces["mkdir"].count == 1
+        assert tracer.traces["open"].count == 5
+        assert tracer.traces["write"].count == 5
+        assert tracer.traces["close"].count == 5
+
+    def test_latencies_are_simulated_time(self, traced):
+        sim, cluster, tracer, fs = traced
+        fs.mkdir("/d")  # checkpoints eagerly: costs real simulated ms
+        t = tracer.traces["mkdir"]
+        assert t.mean > 1e-4
+        assert t.percentile(50) <= t.percentile(99)
+
+    def test_percentiles_ordering(self, traced):
+        sim, cluster, tracer, fs = traced
+        fs.mkdir("/d")
+        for i in range(20):
+            fs.write_file(f"/d/f{i}", b"y" * 100)
+        t = tracer.traces["open"]
+        assert t.percentile(50) <= t.percentile(95) <= t.percentile(99)
+        assert t.total >= t.mean * t.count * 0.99
+
+    def test_empty_trace_is_zero(self):
+        from repro.posix.trace import OpTrace
+
+        t = OpTrace()
+        assert t.mean == 0.0
+        assert t.percentile(99) == 0.0
+
+    def test_report_renders(self, traced):
+        sim, cluster, tracer, fs = traced
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"")
+        out = tracer.report()
+        assert "mkdir" in out and "p99" in out
+        tracer.reset()
+        assert tracer.traces == {}
+
+
+class TestComposability:
+    def test_wraps_raw_client_too(self):
+        """Tracing below the mount sees the inner client's view."""
+        sim = Simulator()
+        cluster = build_arkfs(sim, n_clients=1, functional=True)
+        tracer = TracingClient(cluster.client(0))
+        fs = SyncFS(tracer, ROOT_CREDS)
+        fs.mkdir("/x")
+        assert tracer.traces["mkdir"].count == 1

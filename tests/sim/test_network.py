@@ -1,0 +1,155 @@
+"""Tests for the node/network/RPC model."""
+
+import pytest
+
+from repro.sim import NetParams, Network, Node, NodeDown, RpcError, Simulator
+
+
+def make_pair(latency=0.001, bw=1e6):
+    sim = Simulator()
+    net = Network(sim, NetParams(latency_s=latency, bandwidth_bps=bw,
+                                 rpc_timeout_s=0.5))
+    a = Node(sim, "a", net=net)
+    b = Node(sim, "b", net=net)
+    return sim, net, a, b
+
+
+def test_send_pays_latency_and_serialization():
+    sim, net, a, b = make_pair(latency=0.01, bw=1000)
+
+    def mover(net, a, b):
+        yield from net.send(a, b, 100)
+
+    sim.run_process(mover(net, a, b))
+    # 100B at 1000 B/s through both NICs + 10ms latency
+    assert sim.now == pytest.approx(0.1 + 0.01 + 0.1)
+    assert net.messages_sent == 1
+    assert net.bytes_sent == 100
+
+
+def test_rpc_round_trip_returns_handler_value():
+    sim, net, a, b = make_pair()
+
+    def handler(x, y):
+        yield b.sim.timeout(0.05)
+        return x + y
+
+    b.register("add", handler)
+
+    def caller(a, b):
+        result = yield from a.call(b, "add", 3, 4)
+        return result
+
+    assert sim.run_process(caller(a, b)) == 7
+    assert sim.now > 0.05  # handler time + network
+
+
+def test_rpc_handler_exception_propagates():
+    sim, net, a, b = make_pair()
+
+    def handler():
+        yield b.sim.timeout(0.01)
+        raise FileNotFoundError("no such file")
+
+    b.register("fail", handler)
+
+    def caller(a, b):
+        yield from a.call(b, "fail")
+
+    with pytest.raises(FileNotFoundError):
+        sim.run_process(caller(a, b))
+
+
+def test_rpc_to_dead_node_raises_nodedown_after_timeout():
+    sim, net, a, b = make_pair()
+    b.crash()
+
+    def caller(a, b):
+        yield from a.call(b, "anything")
+
+    with pytest.raises(NodeDown):
+        sim.run_process(caller(a, b))
+    assert sim.now >= 0.5  # burned the rpc timeout
+
+
+def test_rpc_unknown_method():
+    sim, net, a, b = make_pair()
+
+    def caller(a, b):
+        yield from a.call(b, "missing")
+
+    with pytest.raises(RpcError):
+        sim.run_process(caller(a, b))
+
+
+def test_local_rpc_skips_network():
+    sim, net, a, b = make_pair()
+
+    def handler(v):
+        yield a.sim.timeout(0.001)
+        return v * 2
+
+    a.register("double", handler)
+
+    def caller(a):
+        return (yield from a.call(a, "double", 21))
+
+    assert sim.run_process(caller(a)) == 42
+    assert net.messages_sent == 0
+
+
+def test_node_restart_allows_rpc_again():
+    sim, net, a, b = make_pair()
+
+    def handler():
+        yield b.sim.timeout(0)
+        return "ok"
+
+    b.register("ping", handler)
+    b.crash()
+    b.restart()
+
+    def caller(a, b):
+        return (yield from a.call(b, "ping"))
+
+    assert sim.run_process(caller(a, b)) == "ok"
+
+
+def test_duplicate_node_name_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    Node(sim, "n1", net=net)
+    with pytest.raises(ValueError):
+        Node(sim, "n1", net=net)
+
+
+def test_node_work_consumes_cpu_with_contention():
+    sim = Simulator()
+    net = Network(sim)
+    n = Node(sim, "n", cores=1, net=net)
+    done = []
+
+    def job(n, tag):
+        yield from n.work(1.0)
+        done.append((tag, n.sim.now))
+
+    sim.process(job(n, "p"))
+    sim.process(job(n, "q"))
+    sim.run()
+    assert done == [("p", 1.0), ("q", 2.0)]
+
+
+def test_multicore_node_runs_jobs_in_parallel():
+    sim = Simulator()
+    net = Network(sim)
+    n = Node(sim, "n", cores=2, net=net)
+    done = []
+
+    def job(n, tag):
+        yield from n.work(1.0)
+        done.append((tag, n.sim.now))
+
+    sim.process(job(n, "p"))
+    sim.process(job(n, "q"))
+    sim.run()
+    assert [t for _, t in done] == [1.0, 1.0]

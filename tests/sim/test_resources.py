@@ -1,0 +1,196 @@
+"""Tests for Resource/Mutex/Store/BandwidthPipe queueing semantics."""
+
+import pytest
+
+from repro.sim import BandwidthPipe, Mutex, Resource, SimulationError, Simulator, Store, serve
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    sim.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.in_use == 2 and res.queue_length == 1
+
+
+def test_resource_fifo_handoff():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, res, tag, hold):
+        yield from res.use(hold)
+        order.append((tag, sim.now))
+
+    sim.process(worker(sim, res, "a", 2.0))
+    sim.process(worker(sim, res, "b", 1.0))
+    sim.process(worker(sim, res, "c", 1.0))
+    sim.run()
+    assert order == [("a", 2.0), ("b", 3.0), ("c", 4.0)]
+
+
+def test_resource_release_ungranted_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    queued = res.request()
+    sim.run()
+    res.release(queued)  # cancel while still queued
+    assert res.queue_length == 0
+    res.release(held)
+    assert res.in_use == 0
+
+
+def test_resource_release_unknown_request_errors():
+    sim = Simulator()
+    a = Resource(sim, capacity=1)
+    b = Resource(sim, capacity=1)
+    req = a.request()
+    sim.run()
+    req.granted = False  # simulate misuse
+    with pytest.raises(SimulationError):
+        b.release(req)
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_serve_models_queueing_delay():
+    """Two clients on a capacity-1 server: second waits for the first."""
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    finish = {}
+
+    def client(sim, cpu, tag):
+        yield from serve(cpu, 1.0)
+        finish[tag] = sim.now
+
+    sim.process(client(sim, cpu, "x"))
+    sim.process(client(sim, cpu, "y"))
+    sim.run()
+    assert finish == {"x": 1.0, "y": 2.0}
+
+
+def test_mutex_is_exclusive():
+    sim = Simulator()
+    m = Mutex(sim)
+    assert m.capacity == 1
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(3)
+        store.put("msg")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("msg", 3)]
+
+
+def test_store_buffers_items_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+
+    def consumer(sim, store):
+        a = yield store.get()
+        b = yield store.get()
+        return (a, b)
+
+    assert sim.run_process(consumer(sim, store)) == (1, 2)
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    assert len(store) == 1
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_bandwidth_pipe_transfer_time():
+    sim = Simulator()
+    pipe = BandwidthPipe(sim, bytes_per_sec=100)
+
+    def mover(sim, pipe):
+        yield from pipe.transfer(250)
+
+    sim.run_process(mover(sim, pipe))
+    assert sim.now == pytest.approx(2.5)
+    assert pipe.bytes_moved == 250
+
+
+def test_bandwidth_pipe_saturates_under_contention():
+    """Aggregate throughput caps at the pipe rate: two 100-byte transfers
+    through a 100 B/s pipe take 2 s total."""
+    sim = Simulator()
+    pipe = BandwidthPipe(sim, bytes_per_sec=100)
+    done = []
+
+    def mover(sim, pipe, tag):
+        yield from pipe.transfer(100)
+        done.append((tag, sim.now))
+
+    sim.process(mover(sim, pipe, "a"))
+    sim.process(mover(sim, pipe, "b"))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_bandwidth_pipe_lanes_share_rate():
+    """With 2 lanes, two concurrent transfers each run at half rate and
+    finish together; aggregate rate is unchanged."""
+    sim = Simulator()
+    pipe = BandwidthPipe(sim, bytes_per_sec=100, lanes=2)
+    done = []
+
+    def mover(sim, pipe, tag):
+        yield from pipe.transfer(100)
+        done.append((tag, sim.now))
+
+    sim.process(mover(sim, pipe, "a"))
+    sim.process(mover(sim, pipe, "b"))
+    sim.run()
+    assert done[0][1] == pytest.approx(2.0)
+    assert done[1][1] == pytest.approx(2.0)
+
+
+def test_bandwidth_pipe_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        BandwidthPipe(sim, bytes_per_sec=0)
+    pipe = BandwidthPipe(sim, bytes_per_sec=10)
+
+    def bad(sim, pipe):
+        yield from pipe.transfer(-1)
+
+    with pytest.raises(SimulationError):
+        sim.run_process(bad(sim, pipe))
+
+
+def test_zero_byte_transfer_is_instant():
+    sim = Simulator()
+    pipe = BandwidthPipe(sim, bytes_per_sec=10)
+
+    def mover(sim, pipe):
+        yield from pipe.transfer(0)
+
+    sim.run_process(mover(sim, pipe))
+    assert sim.now == 0.0

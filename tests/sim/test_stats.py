@@ -1,0 +1,75 @@
+"""PhaseRecorder / OpStats / BandwidthMeter accounting."""
+
+import pytest
+
+from repro.sim import BandwidthMeter, OpStats, PhaseRecorder, Simulator
+
+
+def test_op_stats_accumulate():
+    s = OpStats()
+    s.record(1.0)
+    s.record(3.0)
+    assert s.count == 2
+    assert s.total_time == 4.0
+    assert s.mean_time == 2.0
+    assert s.max_time == 3.0
+
+
+def test_op_stats_empty_mean():
+    assert OpStats().mean_time == 0.0
+
+
+def test_phase_recorder_basic():
+    sim = Simulator()
+    rec = PhaseRecorder(sim)
+    rec.begin("CREATE")
+    sim.run(until=2.0)
+    rec.count(100)
+    r = rec.end()
+    assert r.name == "CREATE"
+    assert r.elapsed == 2.0
+    assert r.ops_per_sec == 50.0
+    assert rec.phase("CREATE") is r
+    assert rec.phase("missing") is None
+
+
+def test_phase_recorder_bandwidth():
+    sim = Simulator()
+    rec = PhaseRecorder(sim)
+    rec.begin("WRITE")
+    sim.run(until=1.0)
+    rec.count(1, nbytes=50_000_000)
+    r = rec.end()
+    assert r.bandwidth_mbps == pytest.approx(50.0)
+
+
+def test_phase_recorder_errors():
+    sim = Simulator()
+    rec = PhaseRecorder(sim)
+    rec.begin("READ")
+    rec.error(3)
+    r = rec.end()
+    assert r.errors == 3
+
+
+def test_nested_phase_rejected():
+    sim = Simulator()
+    rec = PhaseRecorder(sim)
+    rec.begin("a")
+    with pytest.raises(RuntimeError):
+        rec.begin("b")
+
+
+def test_bandwidth_meter():
+    sim = Simulator()
+    m = BandwidthMeter(sim)
+    m.add(10_000_000)
+    sim.run(until=2.0)
+    assert m.mbps == pytest.approx(5.0)
+
+
+def test_bandwidth_meter_zero_time():
+    sim = Simulator()
+    m = BandwidthMeter(sim)
+    m.add(100)
+    assert m.mbps == 0.0

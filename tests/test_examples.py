@@ -1,0 +1,30 @@
+"""Every example script must run to completion (they are executable docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_bench_cli_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "table2", "--small"],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Table II" in result.stdout

@@ -1,0 +1,92 @@
+"""The N-N checkpoint/restart workload generator."""
+
+import pytest
+
+from repro.core import build_arkfs, fsck
+from repro.posix import NotFound, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+from repro.workloads import checkpoint_restart
+
+
+@pytest.fixture
+def cluster4():
+    sim = Simulator()
+    return sim, build_arkfs(sim, n_clients=4, functional=True)
+
+
+def test_full_cadence(cluster4):
+    sim, cluster = cluster4
+    result = checkpoint_restart(sim, cluster.mounts, n_ranks=4,
+                                ckpt_bytes=10_000, n_generations=4, keep=2)
+    assert len(result.generation_times) == 4
+    assert all(t > 0 for t in result.generation_times)
+    assert result.restored_ranks == 4
+    assert result.restart_time > 0
+    assert result.bytes_per_generation == 40_000
+
+
+def test_retention_prunes_old_generations(cluster4):
+    sim, cluster = cluster4
+    checkpoint_restart(sim, cluster.mounts, n_ranks=2, ckpt_bytes=100,
+                       n_generations=5, keep=2)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    names = fs.readdir("/ckpt")
+    # Generations 0..2 pruned; 3 and 4 retained.
+    assert names == ["gen-00003", "gen-00004"]
+    with pytest.raises(NotFound):
+        fs.readdir("/ckpt/gen-00000")
+
+
+def test_manifest_is_the_commit_point(cluster4):
+    sim, cluster = cluster4
+    checkpoint_restart(sim, cluster.mounts, n_ranks=3, ckpt_bytes=50,
+                       n_generations=1, keep=1)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    names = fs.readdir("/ckpt/gen-00000")
+    assert "MANIFEST" in names
+    assert len([n for n in names if n.endswith(".ckpt")]) == 3
+
+
+def test_layout_passes_fsck(cluster4):
+    sim, cluster = cluster4
+    checkpoint_restart(sim, cluster.mounts, n_ranks=4, ckpt_bytes=2_000,
+                       n_generations=3, keep=1)
+    for c in cluster.clients:
+        sim.run_process(c.sync())
+    sim.run(until=sim.now + 3)
+    report = sim.run_process(fsck(cluster.prt))
+    assert report.clean, report.summary()
+
+
+def test_arkfs_checkpoints_faster_than_cephfs():
+    """The motivating claim: client-side metadata helps checkpointing —
+    in the amortizing regime (several segment files per rank, one
+    durability point per rank per generation)."""
+    from repro.baselines import build_cephfs
+
+    def run(builder):
+        sim = Simulator()
+        cluster = builder(sim)
+        result = checkpoint_restart(sim, cluster.mounts, n_ranks=16,
+                                    ckpt_bytes=5_000, n_generations=4,
+                                    files_per_rank=8)
+        assert result.restored_ranks == 16
+        return result.mean_generation_time
+
+    t_ark = run(lambda sim: build_arkfs(sim, n_clients=4))
+    t_k = run(lambda sim: build_cephfs(sim, n_clients=4, mount="kernel"))
+    t_f = run(lambda sim: build_cephfs(sim, n_clients=4, mount="fuse"))
+    assert t_ark < t_k
+    assert t_ark < t_f
+
+
+def test_segmented_checkpoints(cluster4):
+    sim, cluster = cluster4
+    result = checkpoint_restart(sim, cluster.mounts, n_ranks=3,
+                                ckpt_bytes=1_000, n_generations=2,
+                                files_per_rank=4)
+    fs = SyncFS(cluster.client(0), ROOT_CREDS)
+    names = fs.readdir("/ckpt/gen-00001")
+    segs = [n for n in names if ".ckpt." in n]
+    assert len(segs) == 12  # 3 ranks x 4 segments
+    assert result.bytes_per_generation == 12_000

@@ -1,0 +1,128 @@
+"""mdtest/fio workload generators: functional correctness and accounting."""
+
+import pytest
+
+from repro.core import build_arkfs
+from repro.posix import ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+from repro.workloads import (
+    HARD_FILE_SIZE,
+    fio_seq,
+    mdtest_easy,
+    mdtest_hard,
+    mscoco_like,
+)
+
+
+@pytest.fixture
+def cluster2():
+    sim = Simulator()
+    return sim, build_arkfs(sim, n_clients=2, functional=True)
+
+
+class TestMdtestEasy:
+    def test_phases_report_positive_rates(self, cluster2):
+        sim, cluster = cluster2
+        r = mdtest_easy(sim, cluster.mounts, n_procs=4, files_per_proc=10)
+        assert set(r.phases) == {"CREATE", "STAT", "DELETE"}
+        assert all(v > 0 for v in r.phases.values())
+        assert r.total_files == 40
+
+    def test_files_exist_after_create_and_gone_after_delete(self, cluster2):
+        sim, cluster = cluster2
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        mdtest_easy(sim, cluster.mounts, n_procs=2, files_per_proc=5,
+                    phases=("CREATE",))
+        assert len(fs.readdir("/mdtest-easy/dir.0")) == 5
+        mdtest_easy(sim, cluster.mounts, n_procs=2, files_per_proc=5,
+                    base="/mdtest-easy", phases=("DELETE",))
+        assert fs.readdir("/mdtest-easy/dir.0") == []
+
+    def test_processes_use_private_leaf_dirs(self, cluster2):
+        sim, cluster = cluster2
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        mdtest_easy(sim, cluster.mounts, n_procs=3, files_per_proc=2,
+                    phases=("CREATE",))
+        assert fs.readdir("/mdtest-easy") == ["dir.0", "dir.1", "dir.2"]
+
+
+class TestMdtestHard:
+    def test_full_run_consistent(self, cluster2):
+        sim, cluster = cluster2
+        r = mdtest_hard(sim, cluster.mounts, n_procs=4, files_per_proc=6,
+                        n_dirs=3)
+        assert set(r.phases) == {"WRITE", "STAT", "READ", "DELETE"}
+        assert all(v > 0 for v in r.phases.values())
+        assert r.errors["READ"] == 0
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        for d in range(3):
+            assert fs.readdir(f"/mdtest-hard/shared.{d}") == []
+
+    def test_files_have_io500_size(self, cluster2):
+        sim, cluster = cluster2
+        mdtest_hard(sim, cluster.mounts, n_procs=2, files_per_proc=3,
+                    n_dirs=2, phases=("WRITE",))
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        found = 0
+        for d in range(2):
+            for name in fs.readdir(f"/mdtest-hard/shared.{d}"):
+                st = fs.stat(f"/mdtest-hard/shared.{d}/{name}")
+                assert st.st_size == HARD_FILE_SIZE
+                found += 1
+        assert found == 6
+
+    def test_files_spread_across_shared_dirs(self, cluster2):
+        sim, cluster = cluster2
+        mdtest_hard(sim, cluster.mounts, n_procs=4, files_per_proc=8,
+                    n_dirs=4, phases=("WRITE",))
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        sizes = [len(fs.readdir(f"/mdtest-hard/shared.{d}"))
+                 for d in range(4)]
+        assert sum(sizes) == 32
+        assert all(s > 0 for s in sizes)  # every dir got traffic
+
+
+class TestFio:
+    def test_write_then_read_bandwidth(self, cluster2):
+        sim, cluster = cluster2
+        r = fio_seq(sim, cluster.mounts, n_procs=2, file_size=1 << 20)
+        assert r.write_mbps > 0 and r.read_mbps > 0
+        assert r.total_bytes == 2 << 20
+
+    def test_data_integrity(self, cluster2):
+        sim, cluster = cluster2
+        fio_seq(sim, cluster.mounts, n_procs=1, file_size=300_000,
+                block_size=64 * 1024)
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        data = fs.read_file("/fio/job0.dat")
+        assert len(data) == 300_000
+        assert set(data) == {0x5A}
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a, b = mscoco_like(50, seed=9), mscoco_like(50, seed=9)
+        assert [(i.name, i.size) for i in a] == [(i.name, i.size) for i in b]
+
+    def test_size_distribution(self):
+        ds = mscoco_like(2000, seed=0, mean_kb=170)
+        sizes = [im.size for im in ds]
+        assert min(sizes) >= 10 * 1024
+        assert max(sizes) <= 600 * 1024
+        mean = sum(sizes) / len(sizes)
+        # "tens to hundreds of KB", mean near MS-COCO's ~170 KB
+        assert 120 * 1024 < mean < 260 * 1024
+
+    def test_total_matches_paper_shape(self):
+        """41K images should land in the ~7 GB ballpark."""
+        ds = mscoco_like(4_100, seed=0, mean_kb=170)  # 10% sample
+        assert 0.5e9 < ds.total_bytes * 10 < 10e9
+
+    def test_content_is_stable(self):
+        img = mscoco_like(1, seed=0).images[0]
+        assert img.content() == img.content()
+        assert len(img.content()) == img.size
+
+    def test_categories_assigned(self):
+        ds = mscoco_like(9, seed=0)
+        assert {im.category for im in ds} == {"train", "val", "test"}

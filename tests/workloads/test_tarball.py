@@ -1,0 +1,166 @@
+"""The ustar implementation: header format, round trips, pipelines."""
+
+import io
+import tarfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_arkfs
+from repro.objectstore import EBS_GP_1GBS, LocalDisk
+from repro.posix import OpenFlags, ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+from repro.workloads import (
+    BLOCK,
+    TarReader,
+    TarWriter,
+    archive_from_disk,
+    archive_to_disk,
+    extract_in_fs,
+    make_header,
+    mscoco_like,
+    parse_header,
+)
+
+
+class TestHeaderFormat:
+    def test_roundtrip(self):
+        h = make_header("dir/file.bin", 12345)
+        name, size, typeflag = parse_header(h)
+        assert name == "dir/file.bin"
+        assert size == 12345
+        assert typeflag == b"0"
+
+    def test_directory_typeflag(self):
+        h = make_header("somedir/", 0, typeflag=b"5")
+        _name, size, typeflag = parse_header(h)
+        assert typeflag == b"5"
+        assert size == 0
+
+    def test_zero_block_is_terminator(self):
+        assert parse_header(b"\x00" * BLOCK) is None
+
+    def test_corrupt_checksum_detected(self):
+        h = bytearray(make_header("f", 10))
+        h[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            parse_header(bytes(h))
+
+    def test_long_name_via_prefix(self):
+        name = "/".join(["very-long-directory-name"] * 5) + "/leaf.bin"
+        assert len(name) > 100
+        h = make_header(name, 1)
+        parsed, _size, _t = parse_header(h)
+        assert parsed == name
+
+    def test_stdlib_tarfile_can_read_our_headers(self):
+        """Interoperability: Python's tarfile parses our output."""
+        payload = b"interop payload"
+        blob = make_header("a/b.txt", len(payload)) + payload
+        blob += b"\x00" * (BLOCK - len(payload) % BLOCK)
+        blob += b"\x00" * (2 * BLOCK)
+        tf = tarfile.open(fileobj=io.BytesIO(blob))
+        member = tf.getmember("a/b.txt")
+        assert member.size == len(payload)
+        assert tf.extractfile(member).read() == payload
+
+    def test_we_can_read_stdlib_tarfile_output(self):
+        buf = io.BytesIO()
+        with tarfile.open(fileobj=buf, mode="w", format=tarfile.USTAR_FORMAT) as tf:
+            data = b"from stdlib"
+            info = tarfile.TarInfo("x/y.dat")
+            info.size = len(data)
+            tf.addfile(info, io.BytesIO(data))
+        raw = buf.getvalue()
+        name, size, typeflag = parse_header(raw[:BLOCK])
+        assert name == "x/y.dat"
+        assert size == len(data)
+        assert raw[BLOCK:BLOCK + size] == data
+
+    @given(name=st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                        min_size=1, max_size=40),
+           size=st.integers(0, 8 ** 11 - 1))
+    def test_header_roundtrip_property(self, name, size):
+        parsed, psize, _t = parse_header(make_header(name, size))
+        assert parsed == name and psize == size
+
+    def test_oversized_file_rejected(self):
+        with pytest.raises(ValueError):
+            make_header("big", 8 ** 11)
+
+
+@pytest.fixture
+def arkfs():
+    sim = Simulator()
+    cluster = build_arkfs(sim, n_clients=1, functional=True)
+    return sim, cluster
+
+
+class TestStreamRoundTrip:
+    def test_writer_reader_roundtrip(self, arkfs):
+        sim, cluster = arkfs
+        mount = cluster.mounts[0]
+        files = {f"d/file{i}": bytes([i]) * (100 + 37 * i) for i in range(8)}
+
+        def write():
+            h = yield from mount.open(
+                ROOT_CREDS, "/a.tar",
+                OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+            w = TarWriter(mount, h)
+            yield from w.add_dir("d")
+            for name, data in files.items():
+                yield from w.add_file(name, data)
+            yield from w.finish()
+            yield from mount.close(h)
+
+        sim.run_process(write())
+
+        def read():
+            h = yield from mount.open(ROOT_CREDS, "/a.tar",
+                                      OpenFlags.O_RDONLY)
+            r = TarReader(mount, h)
+            entries = yield from r.entries()
+            yield from mount.close(h)
+            return entries
+
+        entries = sim.run_process(read())
+        got = {n: d for n, t, d in entries if t == b"0"}
+        assert got == files
+        dirs = [n for n, t, _d in entries if t == b"5"]
+        assert dirs == ["d/"]
+
+
+class TestPipelines:
+    def test_archive_extract_restore(self, arkfs):
+        sim, cluster = arkfs
+        mount = cluster.mounts[0]
+        fs = SyncFS(cluster.client(0), ROOT_CREDS)
+        disk = LocalDisk(sim, EBS_GP_1GBS)
+        ds = mscoco_like(40, seed=3)
+
+        tar_bytes = sim.run_process(
+            archive_from_disk(mount, ROOT_CREDS, disk, ds, "/ds.tar"))
+        assert tar_bytes > ds.total_bytes  # headers + padding
+        assert fs.stat("/ds.tar").st_size == tar_bytes
+
+        n = sim.run_process(extract_in_fs(mount, ROOT_CREDS, "/ds.tar",
+                                          "/out"))
+        assert n == 40
+        # Every image landed in its category directory, bit-exact.
+        for img in ds:
+            assert fs.read_file(f"/out/{img.category}/{img.name}") == \
+                img.content()
+
+        restored = sim.run_process(
+            archive_to_disk(mount, ROOT_CREDS, "/out", disk))
+        assert restored >= ds.total_bytes
+        assert disk.bytes_written >= ds.total_bytes
+
+    def test_extract_costs_ebs_reads(self, arkfs):
+        sim, cluster = arkfs
+        mount = cluster.mounts[0]
+        disk = LocalDisk(sim, EBS_GP_1GBS)
+        ds = mscoco_like(10, seed=1)
+        sim.run_process(archive_from_disk(mount, ROOT_CREDS, disk, ds,
+                                          "/t.tar"))
+        assert disk.bytes_read == ds.total_bytes
