@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_speedups"]
+__all__ = ["format_table", "format_series", "format_speedups",
+           "format_fanout"]
 
 LABELS = {
     "arkfs": "ArkFS",
@@ -77,4 +78,35 @@ def format_speedups(title: str, rows: Mapping[str, Mapping[str, float]],
             ratio = (ov / val) if invert else (val / ov)
             out.append(f"  {col:>12}: {_label(base)} is {ratio:5.2f}x "
                        f"vs {_label(other)}")
+    return "\n".join(out)
+
+
+def format_fanout(title: str, cache_stats: Mapping[str, int],
+                  journal_fanout: Optional[Mapping[str, int]] = None) -> str:
+    """Summarize how parallel the scatter-gather I/O paths actually ran.
+
+    Takes ``DataObjectCache.stats`` and (optionally)
+    ``JournalManager.fanout`` and renders batched-vs-serial op counts plus
+    batch-size / in-flight high-water marks — the observability check that
+    a "parallel" run really fanned out."""
+    s = cache_stats
+    out = [title]
+    bg, sg = s.get("batched_gets", 0), s.get("serial_gets", 0)
+    bp, sp = s.get("batched_puts", 0), s.get("serial_puts", 0)
+    out.append(f"  demand GETs : {bg:6d} batched / {sg:6d} serial in "
+               f"{s.get('fetch_batches', 0)} batches "
+               f"(max batch {s.get('max_fetch_batch', 0)}, "
+               f"max in-flight {s.get('max_inflight_gets', 0)})")
+    out.append(f"  writebacks  : {bp:6d} batched / {sp:6d} serial in "
+               f"{s.get('wb_batches', 0)} batches "
+               f"(max batch {s.get('max_wb_batch', 0)}, "
+               f"max in-flight {s.get('max_inflight_puts', 0)})")
+    if journal_fanout is not None:
+        j = journal_fanout
+        out.append(f"  checkpoints : {j.get('ckpt_batched_ops', 0):6d} "
+                   f"batched / {j.get('ckpt_serial_ops', 0):6d} serial ops "
+                   f"in {j.get('ckpt_batches', 0)} batches "
+                   f"(max batch {j.get('ckpt_max_batch', 0)})")
+        out.append(f"  commits     : {j.get('commit_rounds', 0):6d} rounds "
+                   f"(max dirs/round {j.get('commit_max_fanout', 0)})")
     return "\n".join(out)

@@ -78,7 +78,8 @@ class DataObjectCache:
 
     def __init__(self, sim: Simulator, prt: PRT, node: Optional[Node],
                  entry_size: int, capacity_bytes: int, max_readahead: int,
-                 copy_bw: float = 8e9, writeback_parallel: int = 8):
+                 copy_bw: float = 8e9, writeback_parallel: int = 8,
+                 fetch_parallel: int = 16):
         if entry_size != prt.data_object_size:
             raise ValueError("cache entry size must equal the PRT object size")
         self.sim = sim
@@ -92,10 +93,23 @@ class DataObjectCache:
         # threads" (pdflush-style) — serializing PUTs here would wrongly
         # throttle sequential write bandwidth to one object per RTT.
         self.writeback_parallel = max(1, writeback_parallel)
+        # A demand read scatters this many concurrent GETs for the entries
+        # it misses (1 = the serial ablation: one object-store RTT each).
+        self.fetch_parallel = max(1, fetch_parallel)
         self._files: Dict[int, _FileCache] = {}
         self._lru: "OrderedDict[Tuple[int, int], CacheEntry]" = OrderedDict()
+        self._reserved = 0        # cache slots claimed by scheduled prefetches
+        self._inflight_gets = 0
+        self._inflight_puts = 0
         self.stats = {"hits": 0, "misses": 0, "prefetches": 0, "flushes": 0,
-                      "evictions": 0}
+                      "evictions": 0,
+                      # fan-out observability: batched vs serial object ops,
+                      # high-water in-flight counts, and batch sizes
+                      "batched_gets": 0, "serial_gets": 0,
+                      "batched_puts": 0, "serial_puts": 0,
+                      "fetch_batches": 0, "wb_batches": 0,
+                      "max_fetch_batch": 0, "max_wb_batch": 0,
+                      "max_inflight_gets": 0, "max_inflight_puts": 0}
 
     # -- internals -------------------------------------------------------------
 
@@ -116,8 +130,9 @@ class DataObjectCache:
         else:
             yield self.sim.timeout(0)
 
-    def _make_room(self) -> SimGen:
-        while len(self._lru) >= self.capacity:
+    def _make_room(self, need: int = 1) -> SimGen:
+        need = min(max(1, need), self.capacity)
+        while len(self._lru) + need > self.capacity:
             victim_key = None
             dirty_batch = []
             for key, entry in self._lru.items():
@@ -126,7 +141,7 @@ class DataObjectCache:
                 if victim_key is None:
                     victim_key = key
                 if entry.dirty and len(dirty_batch) < self.writeback_parallel:
-                    dirty_batch.append((key, entry))
+                    dirty_batch.append((key[0], entry))
             if victim_key is None:
                 # Everything is mid-fetch; wait for one fetch to land.
                 first = next(iter(self._lru.values()))
@@ -137,12 +152,7 @@ class DataObjectCache:
                 # flusher-thread pool), so eviction pressure doesn't
                 # serialize object PUTs. State may change while we wait, so
                 # re-evaluate the victim afterwards.
-                flushes = [
-                    self.sim.process(self._writeback(k[0], e),
-                                     name=f"wb:{k[0]:x}:{k[1]}")
-                    for k, e in dirty_batch
-                ]
-                yield self.sim.all_of(flushes)
+                yield from self._writeback_batch(dirty_batch)
                 continue
             ino, idx = victim_key
             entry = self._lru.pop(victim_key)
@@ -162,21 +172,66 @@ class DataObjectCache:
         # the entry rather than getting silently marked clean.
         entry.dirty = False
         snapshot = bytes(entry.data)
+        self._inflight_puts += 1
+        self.stats["max_inflight_puts"] = max(
+            self.stats["max_inflight_puts"], self._inflight_puts)
         try:
             yield from self.prt.write_object(ino, entry.index, snapshot,
                                              src=self.node)
         except Exception:
             entry.dirty = True
             raise
+        finally:
+            self._inflight_puts -= 1
         self.stats["flushes"] += 1
 
+    def _writeback_batch(self, pairs) -> SimGen:
+        """Write a batch of dirty ``(ino, entry)`` pairs back concurrently
+        (one flusher-pool round)."""
+        if not pairs:
+            return
+        if len(pairs) == 1:
+            self.stats["serial_puts"] += 1
+            yield from self._writeback(*pairs[0])
+            return
+        self.stats["wb_batches"] += 1
+        self.stats["batched_puts"] += len(pairs)
+        self.stats["max_wb_batch"] = max(self.stats["max_wb_batch"],
+                                         len(pairs))
+        flushes = [
+            self.sim.process(self._writeback(ino, e),
+                             name=f"wb:{ino:x}:{e.index}")
+            for ino, e in pairs
+        ]
+        yield self.sim.all_of(flushes)
+
+    def _writeback_many(self, pairs) -> SimGen:
+        """Scatter dirty entries across the flusher pool,
+        ``writeback_parallel`` PUTs at a time — the shared path behind
+        ``flush``/``flush_all``/``invalidate``/``drop_all``."""
+        for start in range(0, len(pairs), self.writeback_parallel):
+            yield from self._writeback_batch(
+                pairs[start:start + self.writeback_parallel])
+
     def _fetch(self, ino: int, index: int) -> SimGen:
-        """Install a loading entry and fill it from storage."""
+        """Install a loading entry and fill it from storage.
+
+        Idempotent under races: if another fetch (demand or read-ahead)
+        installed the entry between our admission check and now, join its
+        in-flight ``loading`` event instead of issuing a second GET."""
         fc = self._file(ino)
+        existing = fc.tree.get(index)
+        if existing is not None:
+            if existing.loading is not None:
+                yield existing.loading
+            return existing
         entry = CacheEntry(index)
         entry.loading = self.sim.event()
         fc.tree.set(index, entry)
         self._touch(ino, entry)
+        self._inflight_gets += 1
+        self.stats["max_inflight_gets"] = max(
+            self.stats["max_inflight_gets"], self._inflight_gets)
         try:
             data = yield from self.prt.read_object(ino, index, src=self.node)
         except Exception as exc:
@@ -184,10 +239,47 @@ class DataObjectCache:
             self._lru.pop((ino, index), None)
             entry.loading.fail(exc)
             raise
+        finally:
+            self._inflight_gets -= 1
         entry.data = bytearray(data)
         ev, entry.loading = entry.loading, None
         ev.succeed(entry)
         return entry
+
+    def _fetch_missing(self, ino: int, indices) -> SimGen:
+        """Scatter phase of a demand read: collect every entry the request
+        misses up front and fetch them concurrently, ``fetch_parallel`` GETs
+        at a time. Entries another reader or the read-ahead already has in
+        flight are skipped — their ``loading`` events are shared during
+        assembly, so no GET is ever duplicated."""
+        fc = self._file(ino)
+        missing = [i for i in indices if fc.tree.get(i) is None]
+        if not missing:
+            return frozenset()
+        self.stats["misses"] += len(missing)
+        limit = min(self.fetch_parallel, self.capacity)
+        for start in range(0, len(missing), limit):
+            batch = missing[start:start + limit]
+            # Entries may have appeared (prefetch raced us) while an earlier
+            # batch was in flight.
+            batch = [i for i in batch if fc.tree.get(i) is None]
+            if not batch:
+                continue
+            yield from self._make_room(len(batch))
+            if len(batch) == 1:
+                self.stats["serial_gets"] += 1
+                yield from self._fetch(ino, batch[0])
+                continue
+            self.stats["fetch_batches"] += 1
+            self.stats["batched_gets"] += len(batch)
+            self.stats["max_fetch_batch"] = max(
+                self.stats["max_fetch_batch"], len(batch))
+            fetches = [
+                self.sim.process(self._fetch(ino, i), name=f"mget:{ino:x}:{i}")
+                for i in batch
+            ]
+            yield self.sim.all_of(fetches)
+        return frozenset(missing)
 
     def _get_entry(self, ino: int, index: int, fetch: bool = True) -> SimGen:
         """Return a ready entry, fetching on miss."""
@@ -208,6 +300,7 @@ class DataObjectCache:
             self._touch(ino, entry)
             return entry
         yield from self._make_room()
+        self.stats["serial_gets"] += 1
         entry = yield from self._fetch(ino, index)
         return entry
 
@@ -217,28 +310,55 @@ class DataObjectCache:
              ra: Optional[ReadAheadState] = None) -> SimGen:
         """Read through the cache. ``length`` must already be EOF-clipped.
 
-        Issues asynchronous prefetches for the read-ahead window before
-        waiting on the entries the caller needs, so sequential readers
-        pipeline object GETs.
+        Scatter-gather: asynchronous prefetches are issued for the
+        read-ahead window, then every entry the request itself misses is
+        fetched concurrently (``fetch_parallel`` GETs at a time) before the
+        result is assembled — a cold multi-object read pays ~one
+        object-store round trip, not one per entry.
         """
         if length <= 0:
             yield self.sim.timeout(0)
             return b""
         if ra is not None:
             ra.on_read(offset, length, self.entry_size, self.max_readahead)
-            # Kick prefetches for the window beyond this read.
+            # Kick prefetches for the window beyond this read. Slots are
+            # reserved as prefetches are scheduled (``_reserved``), so a
+            # burst of read-ahead cannot overshoot the cache capacity
+            # before its processes have installed their entries.
             end_idx = (offset + length - 1) // self.entry_size
             ra_end = offset + length + ra.window
             ra_last_idx = (ra_end - 1) // self.entry_size
             fc = self._file(ino)
+            budget = self.capacity - len(self._lru) - self._reserved
             for idx in range(end_idx + 1, ra_last_idx + 1):
-                if fc.tree.get(idx) is None and len(self._lru) < self.capacity:
+                if budget <= 0:
+                    break
+                if fc.tree.get(idx) is None:
+                    budget -= 1
+                    self._reserved += 1
                     self.stats["prefetches"] += 1
                     self.sim.process(self._prefetch_one(ino, idx),
                                      name=f"ra:{ino:x}:{idx}")
+        pieces = self.prt.chunk_range(offset, length)
+        fetched = yield from self._fetch_missing(ino, [p[0] for p in pieces])
         out = bytearray()
-        for idx, off, n in self.prt.chunk_range(offset, length):
-            entry = yield from self._get_entry(ino, idx)
+        fc = self._file(ino)
+        for idx, off, n in pieces:
+            entry = fc.tree.get(idx)
+            if entry is None:
+                # Evicted between the scatter phase and assembly (only
+                # possible when the request is larger than the cache).
+                yield from self._make_room()
+                self.stats["misses"] += 1
+                self.stats["serial_gets"] += 1
+                entry = yield from self._fetch(ino, idx)
+            elif entry.loading is not None:
+                yield entry.loading
+                if idx not in fetched:
+                    self.stats["hits"] += 1
+            elif idx not in fetched:
+                self.stats["hits"] += 1
+            self._touch(ino, entry)
             piece = bytes(entry.data[off : off + n])
             if len(piece) < n:
                 piece += b"\x00" * (n - len(piece))
@@ -247,13 +367,17 @@ class DataObjectCache:
         return bytes(out)
 
     def _prefetch_one(self, ino: int, index: int) -> SimGen:
-        fc = self._file(ino)
-        if fc.tree.get(index) is not None:
-            return
         try:
+            fc = self._file(ino)
+            if fc.tree.get(index) is not None:
+                return
+            if len(self._lru) >= self.capacity:
+                return  # demand traffic claimed the slot; drop the prefetch
             yield from self._fetch(ino, index)
         except Exception:
             pass  # prefetch failures surface on the demand read
+        finally:
+            self._reserved -= 1
 
     def write(self, ino: int, offset: int, data: bytes,
               old_size: int) -> SimGen:
@@ -276,46 +400,65 @@ class DataObjectCache:
             entry.dirty = True
         yield from self._copy_cost(len(data))
 
+    def _collect_dirty(self, inos) -> SimGen:
+        """Quiesce in-flight fetches for the given files and return their
+        dirty ``(ino, entry)`` pairs, ready for a batched writeback."""
+        pairs = []
+        for ino in inos:
+            fc = self._files.get(ino)
+            if fc is None:
+                continue
+            for _idx, entry in list(fc.tree.items()):
+                if entry.loading is not None:
+                    yield entry.loading
+                if entry.dirty:
+                    pairs.append((ino, entry))
+        return pairs
+
     def flush(self, ino: int) -> SimGen:
         """Write every dirty entry of a file back to object storage,
         ``writeback_parallel`` PUTs at a time."""
-        fc = self._files.get(ino)
-        if fc is None:
-            return
-        batch = []
-        for idx, entry in list(fc.tree.items()):
-            if entry.loading is not None:
-                yield entry.loading
-            if entry.dirty:
-                batch.append(entry)
-            if len(batch) >= self.writeback_parallel:
-                yield self.sim.all_of([
-                    self.sim.process(self._writeback(ino, e)) for e in batch])
-                batch = []
-        if batch:
-            yield self.sim.all_of([
-                self.sim.process(self._writeback(ino, e)) for e in batch])
+        yield from self.flush_many([ino])
+
+    def flush_many(self, inos) -> SimGen:
+        """Flush several files' dirty entries through one flusher-pool run,
+        so the writebacks of different files share batches instead of
+        serializing file by file."""
+        pairs = yield from self._collect_dirty(inos)
+        yield from self._writeback_many(pairs)
 
     def flush_all(self) -> SimGen:
-        for ino in list(self._files):
-            yield from self.flush(ino)
+        yield from self.flush_many(list(self._files))
 
     def invalidate(self, ino: int, flush_dirty: bool = True) -> SimGen:
-        """Drop a file's entries (read/write lease revocation path)."""
-        fc = self._files.pop(ino, None)
-        if fc is None:
-            return
-        for idx, entry in list(fc.tree.items()):
-            if entry.loading is not None:
-                yield entry.loading
-            if entry.dirty and flush_dirty:
-                yield from self._writeback(ino, entry)
-            self._lru.pop((ino, idx), None)
+        """Drop a file's entries (read/write lease revocation path).
+
+        Dirty entries go through the same batched writeback the eviction
+        path uses — a lease revocation of a heavily written file must not
+        serialize one PUT per entry."""
+        yield from self.invalidate_many([ino], flush_dirty=flush_dirty)
+
+    def invalidate_many(self, inos, flush_dirty: bool = True) -> SimGen:
+        """Batched invalidation across files (flush dirty, then drop)."""
+        pairs = yield from self._collect_dirty(inos)
+        if flush_dirty:
+            yield from self._writeback_many(pairs)
+        for ino in inos:
+            fc = self._files.pop(ino, None)
+            if fc is None:
+                continue
+            for idx, entry in list(fc.tree.items()):
+                if entry.loading is not None:
+                    yield entry.loading
+                if entry.dirty and flush_dirty:
+                    # Re-dirtied (or fetched-then-written) while we flushed.
+                    yield from self._writeback(ino, entry)
+                self._lru.pop((ino, idx), None)
 
     def drop_all(self) -> SimGen:
-        """Flush and drop everything (e.g. fio's cache drop between phases)."""
-        for ino in list(self._files):
-            yield from self.invalidate(ino)
+        """Flush and drop everything (e.g. fio's cache drop between phases);
+        writebacks fan out across files, not one file at a time."""
+        yield from self.invalidate_many(list(self._files))
 
     def discard_all(self) -> None:
         """Crash: lose every cached byte, dirty or not."""

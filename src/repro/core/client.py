@@ -103,6 +103,8 @@ class ArkFSClient(LeaderOps, VFSClient):
             capacity_bytes=params.cache_capacity_bytes,
             max_readahead=params.max_readahead,
             copy_bw=params.cache_copy_bw,
+            fetch_parallel=params.fetch_parallel,
+            writeback_parallel=params.writeback_parallel,
         )
         self.fleases = FileLeaseService(sim, params.file_lease_period,
                                         self._revoke_holder)
@@ -817,8 +819,7 @@ class ArkFSClient(LeaderOps, VFSClient):
         holds: dirty file data first, then the journal."""
         mt = self.metatables.get(dir_ino)
         if mt is not None:
-            for ino in list(mt.inodes):
-                yield from self.cache.flush(ino)
+            yield from self.cache.flush_many(list(mt.inodes))
         yield from self.journal.flush(dir_ino)
 
     def _release_dir(self, dir_ino: int) -> SimGen:

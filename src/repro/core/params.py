@@ -40,6 +40,11 @@ class ArkFSParams:
     max_readahead: int = 8 * MiB           # default, same as CephFS
     file_lease_period: float = 5.0         # read/write lease on file data
 
+    # --- parallel I/O fan-out (scatter-gather data path) --------------------
+    fetch_parallel: int = 16               # concurrent demand-read GETs per
+                                           # request (1 = serial ablation)
+    writeback_parallel: int = 8            # concurrent flusher-thread PUTs
+
     # --- permission caching mode (Section III-C) ----------------------------
     permission_cache: bool = True          # ArkFS-pcache vs ArkFS-no-pcache
 

@@ -111,11 +111,10 @@ class PRT:
         """All dentries of a directory, name-sorted (metatable load path)."""
         prefix = self.key_dentry_prefix(dir_ino)
         keys = yield from self.store.list(prefix, src=src)
-        dentries: List[Dentry] = []
-        for key in keys:
-            raw = yield from self.store.get(key, src=src)
-            dentries.append(Dentry.from_bytes(raw))
-        return dentries
+        raws = yield from self.store.get_many(keys, src=src)
+        # A dentry deleted between LIST and GET simply isn't part of the
+        # load — same race a real S3 lister has.
+        return [Dentry.from_bytes(raw) for raw in raws if raw is not None]
 
     # -- data path -------------------------------------------------------------------
 
@@ -146,6 +145,19 @@ class PRT:
         except NoSuchKey:
             return b""
         return data
+
+    def read_objects(self, ino: int, indices: List[int],
+                     src: Optional[Node] = None) -> SimGen:
+        """Scatter-gather read of whole data objects; missing read as empty.
+
+        Returns ``{index: data}``; one batched GET instead of one RTT per
+        object (the cold-read fast path when the cache fans out misses)."""
+        if not indices:
+            return {}
+        keys = [self.key_data(ino, idx) for idx in indices]
+        raws = yield from self.store.get_many(keys, src=src)
+        return {idx: (raw if raw is not None else b"")
+                for idx, raw in zip(indices, raws)}
 
     def write_object(self, ino: int, index: int, data: bytes,
                      src: Optional[Node] = None) -> SimGen:
@@ -197,11 +209,9 @@ class PRT:
         osz = self.data_object_size
         first_dead = -(-new_size // osz)  # ceil: first wholly-dead index
         last = (old_size - 1) // osz if old_size else -1
-        for idx in range(first_dead, last + 1):
-            try:
-                yield from self.store.delete(self.key_data(ino, idx), src=src)
-            except NoSuchKey:
-                pass
+        dead = [self.key_data(ino, idx) for idx in range(first_dead, last + 1)]
+        if dead:
+            yield from self.store.delete_many(dead, src=src)
         if new_size % osz:
             idx = new_size // osz
             old = yield from self.read_object(ino, idx, src=src)

@@ -9,7 +9,7 @@ decide what they cost.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim.engine import SimGen
 from ..sim.network import Node
@@ -61,6 +61,71 @@ class ObjectStore(ABC):
         S3's ``If-None-Match: *`` — ArkFS's two-phase commit uses it for
         rename decision records."""
 
+    # -- batched (scatter-gather) operations --------------------------------
+    #
+    # One logical request covering many keys. The default implementations
+    # fan the per-key operations out as concurrent simulation processes, so
+    # a batch pays one round of latency instead of one per key; timing-aware
+    # backends (ClusterObjectStore) override them to additionally share the
+    # client-NIC enqueue while still contending at the per-OSD queues.
+    # Implementations must expose a ``sim`` attribute (they all do).
+
+    def get_many(self, keys: Sequence[str],
+                 src: Optional[Node] = None) -> SimGen:
+        """Fetch many objects concurrently.
+
+        Returns a list aligned with ``keys``: ``bytes`` for present objects,
+        ``None`` for missing ones (a batch GET tolerates partial absence;
+        callers decide whether a hole is an error)."""
+        from .errors import NoSuchKey
+
+        def one(key: str) -> SimGen:
+            try:
+                return (yield from self.get(key, src=src))
+            except NoSuchKey:
+                return None
+
+        if not keys:
+            return []
+        if len(keys) == 1:
+            return [(yield from one(keys[0]))]
+        procs = [self.sim.process(one(k), name=f"mget:{k}") for k in keys]
+        results = yield self.sim.all_of(procs)
+        return results
+
+    def put_many(self, items: Sequence[Tuple[str, bytes]],
+                 src: Optional[Node] = None) -> SimGen:
+        """Store many objects concurrently (fails fast on the first error)."""
+        if not items:
+            return
+        if len(items) == 1:
+            yield from self.put(items[0][0], items[0][1], src=src)
+            return
+        procs = [self.sim.process(self.put(k, v, src=src), name=f"mput:{k}")
+                 for k, v in items]
+        yield self.sim.all_of(procs)
+
+    def delete_many(self, keys: Sequence[str],
+                    src: Optional[Node] = None) -> SimGen:
+        """Delete many objects concurrently, tolerating absent keys
+        (idempotent, like journal replay). Returns the count removed."""
+        from .errors import NoSuchKey
+
+        def one(key: str) -> SimGen:
+            try:
+                yield from self.delete(key, src=src)
+            except NoSuchKey:
+                return 0
+            return 1
+
+        if not keys:
+            return 0
+        if len(keys) == 1:
+            return (yield from one(keys[0]))
+        procs = [self.sim.process(one(k), name=f"mdel:{k}") for k in keys]
+        removed = yield self.sim.all_of(procs)
+        return sum(removed)
+
     # -- conveniences shared by all implementations -------------------------
 
     def exists(self, key: str, src: Optional[Node] = None) -> SimGen:
@@ -74,8 +139,8 @@ class ObjectStore(ABC):
         return True
 
     def delete_prefix(self, prefix: str, src: Optional[Node] = None) -> SimGen:
-        """LIST + DELETE everything under ``prefix``; returns count removed."""
+        """LIST + batched DELETE of everything under ``prefix``; returns the
+        count removed."""
         keys: List[str] = yield from self.list(prefix, src=src)
-        for key in keys:
-            yield from self.delete(key, src=src)
-        return len(keys)
+        n = yield from self.delete_many(keys, src=src)
+        return n

@@ -15,7 +15,7 @@ staging volume in the archiving workload and the S3FS disk cache.
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim.engine import SimGen, Simulator
 from ..sim.network import Network, Node
@@ -96,6 +96,23 @@ class ClusterObjectStore(ObjectStore):
             if stream_time > nic_time:
                 yield self.sim.timeout(stream_time - nic_time)
 
+    def _client_leg_many(self, src: Optional[Node],
+                         sizes: Sequence[int]) -> SimGen:
+        """Client-side cost of one *batched* request: the NIC still moves
+        every byte, but the batch pays one stack latency (one enqueue), and
+        the per-stream cap applies per concurrent stream, not to the sum."""
+        total = sum(sizes)
+        if src is not None and src.net is not None:
+            yield from src.nic.transfer(total)
+            yield self.sim.timeout(src.net.params.latency_s)
+        if sizes and self.profile.per_stream_bw > 0:
+            stream_time = max(sizes) / self.profile.per_stream_bw
+            nic_time = (
+                total / src.nic.bytes_per_sec if src is not None else 0.0
+            )
+            if stream_time > nic_time:
+                yield self.sim.timeout(stream_time - nic_time)
+
     def _service(self, osd: _OSD, fixed: float, nbytes: int) -> SimGen:
         """Occupy an OSD service slot for the request, then move data
         through its media pipe."""
@@ -150,6 +167,10 @@ class ClusterObjectStore(ObjectStore):
 
     def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
         yield from self._client_leg(src, len(data))
+        yield from self._server_put(key, data)
+
+    def _server_put(self, key: str, data: bytes) -> SimGen:
+        """Backend side of a PUT (replication / EC fan-out, no client leg)."""
         if self.profile.erasure is not None:
             k, m = self.profile.erasure
             shard = -(-len(data) // k)
@@ -213,6 +234,67 @@ class ClusterObjectStore(ObjectStore):
         finally:
             self._pending_creates.discard(key)
         return True
+
+    # -- batched operations ----------------------------------------------------
+    #
+    # One client enqueue for the whole batch; the per-key work still lands
+    # on each key's OSD queue, so saturation behaviour under fan-out is the
+    # same contention the paper's bandwidth figures exercise.
+
+    def get_many(self, keys: Sequence[str],
+                 src: Optional[Node] = None) -> SimGen:
+        values = [self.backing._data.get(k) for k in keys]
+        reads = []
+        for key, data in zip(keys, values):
+            if data is None:
+                continue
+            if self.profile.erasure is not None:
+                reads.append(self.sim.process(
+                    self._ec_gather(key, len(data)), name=f"mget:{key}"))
+            else:
+                reads.append(self.sim.process(
+                    self._service(self.osd_for(key), self.profile.get_latency,
+                                  len(data)),
+                    name=f"mget:{key}"))
+        if reads:
+            yield self.sim.all_of(reads)
+        sizes = [len(d) for d in values if d is not None]
+        yield from self._client_leg_many(src, sizes)
+        self.bytes_read += sum(sizes)
+        self.backing.op_counts["get"] += len(sizes)
+        return values
+
+    def put_many(self, items: Sequence[Tuple[str, bytes]],
+                 src: Optional[Node] = None) -> SimGen:
+        if not items:
+            return
+        yield from self._client_leg_many(src, [len(d) for _k, d in items])
+        writes = [
+            self.sim.process(self._server_put(k, d), name=f"mput:{k}")
+            for k, d in items
+        ]
+        yield self.sim.all_of(writes)
+
+    def delete_many(self, keys: Sequence[str],
+                    src: Optional[Node] = None) -> SimGen:
+        present = [k for k in keys if k in self.backing]
+        deletes = [
+            self.sim.process(
+                self._service(self.osd_for(k), self.profile.delete_latency, 0),
+                name=f"mdel:{k}")
+            for k in present
+        ]
+        if deletes:
+            yield self.sim.all_of(deletes)
+        else:
+            yield self.sim.timeout(0)
+        removed = 0
+        for key in present:
+            if key in self.backing:  # not raced away while we waited
+                self.backing.sync_delete(key)
+                self.backing.op_counts["delete"] += 1
+                removed += 1
+        return removed
 
     # -- functional helpers (for tests/recovery assertions) --------------------
 

@@ -8,7 +8,7 @@ cluster store as its actual data plane.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import SimGen, Simulator
 from ..sim.network import Node
@@ -124,3 +124,29 @@ class InMemoryObjectStore(ObjectStore):
             return False
         self.sync_put(key, data)
         return True
+
+    # -- batched operations (instantaneous: no process fan-out needed) ------
+
+    def get_many(self, keys: Sequence[str],
+                 src: Optional[Node] = None) -> SimGen:
+        self.op_counts["get"] += len(keys)
+        yield self.sim.timeout(0)
+        return [self._data.get(k) for k in keys]
+
+    def put_many(self, items: Sequence[Tuple[str, bytes]],
+                 src: Optional[Node] = None) -> SimGen:
+        self.op_counts["put"] += len(items)
+        yield self.sim.timeout(0)
+        for key, data in items:
+            self.sync_put(key, data)
+
+    def delete_many(self, keys: Sequence[str],
+                    src: Optional[Node] = None) -> SimGen:
+        self.op_counts["delete"] += len(keys)
+        yield self.sim.timeout(0)
+        removed = 0
+        for key in keys:
+            if key in self._data:
+                self.sync_delete(key)
+                removed += 1
+        return removed

@@ -37,7 +37,10 @@ class RestAPIRegistry:
     Required: ``get(key) -> bytes`` (raise :class:`NoSuchKey`),
     ``put(key, data)``, ``delete(key)``, ``list(prefix) -> [keys]``.
     Optional: ``head(key) -> size``, ``get_range(key, offset, length)``,
-    ``put_if_absent(key, data) -> bool``.
+    ``put_if_absent(key, data) -> bool``, and the batch verbs
+    ``get_many(keys) -> [bytes|None]``, ``put_many(items)``,
+    ``delete_many(keys) -> removed`` (S3 DeleteObjects-style); backends
+    without them get the scatter-gather emulation (concurrent singles).
     All handlers are generator coroutines run on the simulator.
     """
 
@@ -46,7 +49,7 @@ class RestAPIRegistry:
 
     def register(self, verb: str, handler: Handler) -> "RestAPIRegistry":
         known = {"get", "put", "delete", "list", "head", "get_range",
-                 "put_if_absent"}
+                 "put_if_absent", "get_many", "put_many", "delete_many"}
         if verb not in known:
             raise ValueError(f"unknown REST verb {verb!r}; pick from "
                              f"{sorted(known)}")
@@ -107,6 +110,26 @@ class RestObjectStore(ObjectStore):
             return (yield from h(key, offset, length))
         data = yield from self.get(key, src=src)
         return data[offset : offset + length]
+
+    def get_many(self, keys, src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("get_many")
+        if h is not None:
+            return (yield from h(list(keys)))
+        # Emulation: concurrent single GETs (the base scatter-gather).
+        return (yield from super().get_many(keys, src=src))
+
+    def put_many(self, items, src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("put_many")
+        if h is not None:
+            yield from h(list(items))
+            return
+        yield from super().put_many(items, src=src)
+
+    def delete_many(self, keys, src: Optional[Node] = None) -> SimGen:
+        h = self.registry.handler("delete_many")
+        if h is not None:
+            return (yield from h(list(keys)))
+        return (yield from super().delete_many(keys, src=src))
 
     def put_if_absent(self, key: str, data: bytes,
                       src: Optional[Node] = None) -> SimGen:

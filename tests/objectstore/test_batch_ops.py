@@ -1,0 +1,184 @@
+"""Batched (scatter-gather) store verbs: get_many / put_many / delete_many
+across the memory, cluster, and REST backends.
+
+A batch pays one client-side enqueue but the per-key work still lands on
+each key's OSD queue — so a batch of N small requests costs ~one fixed
+latency, not N of them, while saturation behaviour stays realistic.
+"""
+
+import pytest
+
+from repro.objectstore import (
+    ClusterObjectStore,
+    InMemoryObjectStore,
+    NoSuchKey,
+    RestAPIRegistry,
+    RestObjectStore,
+    StoreProfile,
+)
+from repro.sim import Simulator
+
+
+FAST = StoreProfile(
+    name="fast8", n_osds=8, media_bw=1e9, osd_queue_depth=8,
+    get_latency=0.010, put_latency=0.010, delete_latency=0.010,
+    head_latency=0.001, list_latency=0.001, list_page=100,
+    per_stream_bw=1e9, replication=1,
+)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestMemoryBatch:
+    @pytest.fixture
+    def store(self):
+        sim = Simulator()
+        return sim, InMemoryObjectStore(sim)
+
+    def test_get_many_aligns_with_keys(self, store):
+        sim, s = store
+        run(sim, s.put("a", b"1"))
+        run(sim, s.put("b", b"22"))
+        assert run(sim, s.get_many(["a", "ghost", "b"])) == [b"1", None, b"22"]
+
+    def test_get_many_empty(self, store):
+        sim, s = store
+        assert run(sim, s.get_many([])) == []
+
+    def test_put_many_stores_all(self, store):
+        sim, s = store
+        run(sim, s.put_many([("a", b"x"), ("b", b"y")]))
+        assert run(sim, s.get("a")) == b"x"
+        assert run(sim, s.get("b")) == b"y"
+
+    def test_delete_many_counts_and_tolerates_missing(self, store):
+        sim, s = store
+        run(sim, s.put("a", b"x"))
+        run(sim, s.put("b", b"y"))
+        assert run(sim, s.delete_many(["a", "ghost", "b"])) == 2
+        assert "a" not in s and "b" not in s
+
+
+class TestClusterBatch:
+    @pytest.fixture
+    def store(self):
+        sim = Simulator()
+        return sim, ClusterObjectStore(sim, FAST)
+
+    def test_get_many_matches_serial_results(self, store):
+        sim, s = store
+        for i in range(6):
+            run(sim, s.put(f"k{i}", bytes([i]) * 100))
+        keys = [f"k{i}" for i in range(6)] + ["ghost"]
+        out = run(sim, s.get_many(keys))
+        assert out[:6] == [bytes([i]) * 100 for i in range(6)]
+        assert out[6] is None
+
+    def test_get_many_overlaps_fixed_latencies(self, store):
+        sim, s = store
+        keys = [f"k{i}" for i in range(8)]
+        for k in keys:
+            run(sim, s.put(k, b"v" * 1024))
+        t0 = sim.now
+        for k in keys:
+            run(sim, s.get(k))
+        serial = sim.now - t0
+        t1 = sim.now
+        run(sim, s.get_many(keys))
+        batched = sim.now - t1
+        assert batched < serial / 2
+
+    def test_put_many_overlaps_fixed_latencies(self, store):
+        sim, s = store
+        items = [(f"p{i}", b"v" * 1024) for i in range(8)]
+        t0 = sim.now
+        for k, d in items:
+            run(sim, s.put(k, d))
+        serial = sim.now - t0
+        t1 = sim.now
+        run(sim, s.put_many([(f"q{i}", d) for i, (_k, d) in enumerate(items)]))
+        batched = sim.now - t1
+        assert batched < serial / 2
+        for i in range(8):
+            assert run(sim, s.get(f"q{i}")) == b"v" * 1024
+
+    def test_delete_many_returns_removed(self, store):
+        sim, s = store
+        for i in range(4):
+            run(sim, s.put(f"k{i}", b"x"))
+        assert run(sim, s.delete_many(["k0", "k1", "nope", "k3"])) == 3
+        assert "k2" in s and "k0" not in s
+
+    def test_batches_still_pay_osd_cost(self, store):
+        """A batch is not free: it still takes at least one fixed latency."""
+        sim, s = store
+        for i in range(4):
+            run(sim, s.put(f"k{i}", b"x"))
+        t0 = sim.now
+        run(sim, s.get_many([f"k{i}" for i in range(4)]))
+        assert sim.now - t0 >= FAST.get_latency
+
+
+class TestRestBatch:
+    def _backend(self, sim, with_batch=False):
+        data = {}
+        calls = {"get_many": 0}
+
+        def h_get(key):
+            yield sim.timeout(0.01)
+            if key not in data:
+                raise NoSuchKey(key)
+            return data[key]
+
+        def h_put(key, value):
+            yield sim.timeout(0.01)
+            data[key] = value
+
+        def h_delete(key):
+            yield sim.timeout(0.01)
+            data.pop(key, None)
+
+        def h_list(prefix):
+            yield sim.timeout(0.01)
+            return [k for k in data if k.startswith(prefix)]
+
+        reg = (RestAPIRegistry()
+               .register("get", h_get).register("put", h_put)
+               .register("delete", h_delete).register("list", h_list))
+        if with_batch:
+            def h_get_many(keys):
+                calls["get_many"] += 1
+                yield sim.timeout(0.01)
+                return [data.get(k) for k in keys]
+            reg.register("get_many", h_get_many)
+        return RestObjectStore(sim, reg), data, calls
+
+    def test_fallback_emulates_batch(self):
+        sim = Simulator()
+        s, data, _calls = self._backend(sim)
+        data["a"], data["b"] = b"1", b"2"
+        assert run(sim, s.get_many(["a", "x", "b"])) == [b"1", None, b"2"]
+
+    def test_fallback_overlaps_single_gets(self):
+        """Without a native batch verb the emulation runs the single GETs
+        concurrently: 4 keys at 10 ms each finish in ~10 ms, not 40."""
+        sim = Simulator()
+        s, data, _calls = self._backend(sim)
+        for i in range(4):
+            data[f"k{i}"] = b"v"
+        t0 = sim.now
+        run(sim, s.get_many([f"k{i}" for i in range(4)]))
+        assert sim.now - t0 < 0.025
+
+    def test_registered_batch_handler_preferred(self):
+        sim = Simulator()
+        s, data, calls = self._backend(sim, with_batch=True)
+        data["a"] = b"1"
+        assert run(sim, s.get_many(["a", "b"])) == [b"1", None]
+        assert calls["get_many"] == 1
+
+    def test_unknown_batch_verb_rejected(self):
+        with pytest.raises(ValueError):
+            RestAPIRegistry().register("get_lots", lambda: None)
