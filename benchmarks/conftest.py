@@ -10,11 +10,12 @@ paper's numbers.
 Set ``REPRO_SCALE=small`` for a quick pass (used in CI).
 """
 
+import json
 import os
 
 import pytest
 
-from repro.bench import DEFAULT, SMALL
+from repro.bench import BENCH_OBS, DEFAULT, SMALL
 
 
 def pytest_configure(config):
@@ -27,12 +28,50 @@ def scale():
     return SMALL if os.environ.get("REPRO_SCALE") == "small" else DEFAULT
 
 
+#: Max points kept per sampled series in BENCH_*.json (full-resolution
+#: series stay available in-process; the JSON carries a sketch).
+_MAX_SERIES_POINTS = 64
+
+
+def _compact_series(snapshot):
+    for series in snapshot.get("series", {}).values():
+        n = len(series["t"])
+        if n > _MAX_SERIES_POINTS:
+            step = -(-n // _MAX_SERIES_POINTS)  # ceil
+            series["t"] = series["t"][::step]
+            series["v"] = series["v"][::step]
+        series["n_samples"] = n
+    return snapshot
+
+
+def _drain_metrics(benchmark):
+    """Attach every built cluster's metrics snapshot to the benchmark's
+    ``extra_info`` — pytest-benchmark writes it into BENCH_*.json."""
+    metrics = []
+    for kind, obs in BENCH_OBS.collected:
+        snap = _compact_series(obs.metrics.to_dict())
+        try:
+            # Strict round-trip: a NaN/Infinity would render BENCH_*.json
+            # non-standard JSON; drop the offending snapshot loudly instead.
+            json.dumps(snap, allow_nan=False)
+        except ValueError as exc:
+            snap = {"error": f"non-finite metric value dropped: {exc}"}
+        metrics.append({"kind": kind, "metrics": snap})
+    if metrics:
+        benchmark.extra_info["metrics"] = metrics
+
+
 @pytest.fixture
 def bench_once(benchmark):
     """Run a deterministic experiment exactly once under pytest-benchmark."""
 
     def run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  iterations=1, rounds=1, warmup_rounds=0)
+        BENCH_OBS.reset()
+        try:
+            return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                      iterations=1, rounds=1, warmup_rounds=0)
+        finally:
+            _drain_metrics(benchmark)
+            BENCH_OBS.reset()
 
     return run

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (as written by ``--trace``).
+
+Checks the invariants Perfetto / chrome://tracing rely on:
+
+* strict JSON (no NaN/Infinity) with a ``traceEvents`` list;
+* every event has ``ph``, ``pid``, ``tid`` and a ``name``;
+* ``X`` (complete) events carry numeric ``ts``/``dur`` with ``dur >= 0``;
+* every ``pid`` appearing in an event is named by a ``process_name``
+  metadata record (and likewise every ``(pid, tid)`` by ``thread_name``);
+* at least one non-metadata event exists.
+
+Usage: ``python scripts/check_chrome_trace.py TRACE.json``
+Exits non-zero (printing every violation) on an invalid trace.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str) -> list:
+    errors = []
+    with open(path) as f:
+        try:
+            doc = json.load(f, parse_constant=lambda s: errors.append(
+                f"non-standard JSON constant {s!r}") or 0.0)
+        except json.JSONDecodeError as exc:
+            return [f"not JSON: {exc}"]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["missing top-level 'traceEvents' object"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+
+    named_pids = set()
+    named_tids = set()
+    used_pids = set()
+    used_tids = set()
+    n_spans = 0
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                errors.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(pid)
+            elif ev.get("name") == "thread_name":
+                named_tids.add((pid, tid))
+            continue
+        used_pids.add(pid)
+        used_tids.add((pid, tid))
+        if ph == "X":
+            n_spans += 1
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)):
+                    errors.append(f"{where}: {key!r} not numeric: {v!r}")
+            if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+                errors.append(f"{where}: negative dur {ev['dur']}")
+
+    for pid in sorted(used_pids - named_pids):
+        errors.append(f"pid {pid} has events but no process_name metadata")
+    for pid, tid in sorted(used_tids - named_tids):
+        errors.append(f"thread {pid}:{tid} has events but no thread_name "
+                      f"metadata")
+    if n_spans == 0:
+        errors.append("trace contains no complete ('X') events")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) != 1:
+        print(__doc__.strip().splitlines()[-2].strip(), file=sys.stderr)
+        return 2
+    errors = check(argv[0])
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {argv[0]} is a valid Chrome trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

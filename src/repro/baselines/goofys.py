@@ -248,7 +248,15 @@ class GoofysClient(VFSClient):
             up.uploads.append(self.sim.process(
                 self._upload_part(key, len(up.parts), part)))
         if up.uploads:
-            yield self.sim.all_of(up.uploads)
+            # Part uploads were launched by earlier write() calls; the wait
+            # for them to drain is queueing charged to this flush.
+            wait = self.sim.all_of(up.uploads)
+            tr = self.sim._tracer
+            if tr is not None:
+                with tr.span("goofys.upload.wait", "queue"):
+                    yield wait
+            else:
+                yield wait
             up.uploads.clear()
         # CompleteMultipartUpload: S3 assembles parts server-side, so the
         # final object appears without re-shipping the bytes.
@@ -324,7 +332,15 @@ class GoofysClient(VFSClient):
                                                    rd, ev))
                 chunk = ev
             if isinstance(chunk, Event):
-                chunk = yield chunk
+                # The fetch may have been launched by an earlier read() call
+                # (read-ahead), so its spans belong to that op; attribute the
+                # wait itself as queueing on this one.
+                tr = self.sim._tracer
+                if tr is not None:
+                    with tr.span("goofys.ra.wait", "queue"):
+                        chunk = yield chunk
+                else:
+                    chunk = yield chunk
             lo = max(pos, idx * csz) - idx * csz
             hi = min(pos + eff, (idx + 1) * csz) - idx * csz
             out += chunk[lo:hi]

@@ -23,12 +23,24 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, List
 
+from ..obs.trace import span as _span
 from ..sim.engine import Interrupt, SimGen, Simulator
 from ..sim.network import Network, Node
 from ..sim.resources import Resource
 from .namespace import Namespace
 
 __all__ = ["MDSParams", "MDSCluster", "CEPH_MDS", "MARFS_MDS"]
+
+
+def _svc_timeout(sim: Simulator, tr, name: str, delay: float) -> SimGen:
+    """MDS service time, attributed as service when traced."""
+    if delay <= 0:
+        yield sim.timeout(0)
+    elif tr is not None:
+        with tr.span(name, "svc"):
+            yield sim.timeout(delay)
+    else:
+        yield sim.timeout(delay)
 
 
 @dataclass(frozen=True)
@@ -141,51 +153,77 @@ class MDSCluster:
         FS errors raised by ``mutate`` propagate to the caller after the
         response trip, like any RPC error.
         """
+        tr = self.sim._tracer
         target = self.auth_mds(dir_key)
-        # Client -> MDS request.
-        yield from self.net.send(client_node, target.node,
-                                 self.params.rpc_bytes)
-        if len(self.mds) > 1 and self._rand() < self.params.forward_prob:
-            # Wrong MDS: pay a forwarding hop to the authoritative one.
-            yield self.sim.timeout(self.params.forward_hop)
-            yield from self.net.send(target.node, target.node, 0)
-        if (len(self.mds) > 1 and target is not self.mds[0]
-                and self._rand() < self.params.peer_lock_prob):
-            # Hierarchical locking: take the distributed lock at the
-            # near-root authority before mutating — the shared bottleneck
-            # that keeps multi-MDS clusters far from linear scaling.
-            root = self.mds[0]
-            yield self.sim.timeout(self.params.forward_hop)
-            root.active_sessions += 1
-            req0 = root.slots.request()
-            yield req0
-            try:
-                # Same lock/journal contention inflation as a local op: the
-                # root authority degrades as the whole cluster leans on it.
-                yield self.sim.timeout(root.service_time() *
-                                       self.params.peer_lock_weight)
-            finally:
-                root.slots.release(req0)
-                root.active_sessions -= 1
-        target.active_sessions += 1
-        req = target.slots.request()
-        yield req
+        sp = _span(self.sim, "mds.call", "mds")
         try:
-            yield self.sim.timeout(target.service_time() * op_weight)
-            target.ops_served += 1
-            result = mutate()
-            error = None
-        except Exception as exc:  # noqa: BLE001 - surfaces client-side below
-            result, error = None, exc
+            # Client -> MDS request.
+            yield from self.net.send(client_node, target.node,
+                                     self.params.rpc_bytes)
+            if len(self.mds) > 1 and self._rand() < self.params.forward_prob:
+                # Wrong MDS: pay a forwarding hop to the authoritative one.
+                yield from self._hop()
+                yield from self.net.send(target.node, target.node, 0)
+            if (len(self.mds) > 1 and target is not self.mds[0]
+                    and self._rand() < self.params.peer_lock_prob):
+                # Hierarchical locking: take the distributed lock at the
+                # near-root authority before mutating — the shared bottleneck
+                # that keeps multi-MDS clusters far from linear scaling.
+                root = self.mds[0]
+                yield from self._hop()
+                root.active_sessions += 1
+                req0 = root.slots.request()
+                if tr is not None and not req0.granted:
+                    with tr.span(root.slots._wait_name, "queue"):
+                        yield req0
+                else:
+                    yield req0
+                try:
+                    # Same lock/journal contention inflation as a local op:
+                    # the root authority degrades as the whole cluster leans
+                    # on it.
+                    yield from _svc_timeout(
+                        self.sim, tr, f"mds{root.index}.svc",
+                        root.service_time() * self.params.peer_lock_weight)
+                finally:
+                    root.slots.release(req0)
+                    root.active_sessions -= 1
+            target.active_sessions += 1
+            req = target.slots.request()
+            if tr is not None and not req.granted:
+                with tr.span(target.slots._wait_name, "queue"):
+                    yield req
+            else:
+                yield req
+            try:
+                yield from _svc_timeout(self.sim, tr,
+                                        f"mds{target.index}.svc",
+                                        target.service_time() * op_weight)
+                target.ops_served += 1
+                result = mutate()
+                error = None
+            except Exception as exc:  # noqa: BLE001 - surfaces below
+                result, error = None, exc
+            finally:
+                target.slots.release(req)
+                target.active_sessions -= 1
+            # MDS -> client response.
+            yield from self.net.send(target.node, client_node,
+                                     self.params.rpc_bytes)
         finally:
-            target.slots.release(req)
-            target.active_sessions -= 1
-        # MDS -> client response.
-        yield from self.net.send(target.node, client_node,
-                                 self.params.rpc_bytes)
+            sp.close()
         if error is not None:
             raise error
         return result
+
+    def _hop(self) -> SimGen:
+        """A forwarding hop, attributed as network time when traced."""
+        tr = self.sim._tracer
+        if tr is not None:
+            with tr.span("mds.forward", "net"):
+                yield self.sim.timeout(self.params.forward_hop)
+        else:
+            yield self.sim.timeout(self.params.forward_hop)
 
     @property
     def total_ops(self) -> int:

@@ -10,10 +10,26 @@ from .figures import (
     table2_archiving,
 )
 from .io500 import IO500Result, io500_run, io500_table
-from .harness import DEFAULT, FS_KINDS, NET_10G, NET_50G, SMALL, Scale, build
-from .report import format_series, format_speedups, format_table
+from .harness import (
+    BENCH_OBS,
+    DEFAULT,
+    FS_KINDS,
+    NET_10G,
+    NET_50G,
+    SMALL,
+    Scale,
+    build,
+)
+from .report import (
+    format_attribution_merged,
+    format_fanout,
+    format_series,
+    format_speedups,
+    format_table,
+)
 
 __all__ = [
+    "BENCH_OBS",
     "DEFAULT",
     "FS_KINDS",
     "NET_10G",
@@ -28,6 +44,8 @@ __all__ = [
     "fig6b_fio_s3",
     "fig7_arkfs_scalability",
     "IO500Result",
+    "format_attribution_merged",
+    "format_fanout",
     "format_series",
     "format_speedups",
     "format_table",

@@ -1,7 +1,10 @@
 """Command-line figure regeneration: ``python -m repro.bench [targets...]``.
 
 Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 all (default: all).
-Pass ``--small`` for the reduced scale.
+Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
+cross-layer spans for every simulated cluster the run builds: the file is
+Chrome trace-event JSON (load it at https://ui.perfetto.dev), and a
+per-phase latency-attribution table is printed per file-system kind.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ import sys
 import time
 
 from . import (
+    BENCH_OBS,
     DEFAULT,
     SMALL,
     fig1_mds_scalability,
@@ -18,6 +22,7 @@ from . import (
     fig6a_fio_rados,
     fig6b_fio_s3,
     fig7_arkfs_scalability,
+    format_attribution_merged,
     format_series,
     format_table,
     table2_archiving,
@@ -63,13 +68,33 @@ def run_target(name: str, scale) -> None:
 
 
 def main(argv) -> None:
-    args = [a for a in argv if not a.startswith("-")]
+    args = []
+    trace_path = None
+    it = iter(argv)
+    for a in it:
+        if a == "--trace":
+            trace_path = next(it, None)
+            if trace_path is None:
+                raise SystemExit("--trace requires an output path")
+        elif a.startswith("--trace="):
+            trace_path = a.split("=", 1)[1]
+        elif not a.startswith("-"):
+            args.append(a)
     scale = SMALL if "--small" in argv else DEFAULT
+    BENCH_OBS.reset(tracing=trace_path is not None)
     targets = args or ["all"]
     if "all" in targets:
         targets = list(TARGETS)
     for name in targets:
         run_target(name, scale)
+    if trace_path is not None:
+        from ..obs import write_chrome_trace
+
+        n = write_chrome_trace(trace_path, BENCH_OBS.tracers())
+        attrib = format_attribution_merged(BENCH_OBS.collected)
+        if attrib:
+            print(attrib)
+        print(f"\n[trace: {n} events -> {trace_path}]")
 
 
 if __name__ == "__main__":

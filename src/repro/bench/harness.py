@@ -23,11 +23,12 @@ from ..baselines import (
     GoofysParams,
 )
 from ..core import DEFAULT_PARAMS, build_arkfs
+from ..obs import DEFAULT_SAMPLE_INTERVAL, Observability
 from ..objectstore.profiles import KiB, MiB, RADOS_PROFILE, S3_PROFILE
 from ..sim.engine import Simulator
 from ..sim.network import NetParams
 
-__all__ = ["Scale", "SMALL", "DEFAULT", "build", "FS_KINDS"]
+__all__ = ["Scale", "SMALL", "DEFAULT", "build", "FS_KINDS", "BENCH_OBS"]
 
 
 #: The paper's cluster (Table I): 16 storage nodes (c5n.9xlarge, 50 Gb),
@@ -81,6 +82,59 @@ SMALL = Scale(
 )
 
 
+class BenchObs:
+    """Run-scoped observability settings for harness-built clusters.
+
+    Every :func:`build` call attaches an :class:`~repro.obs.Observability`
+    to its simulation, registers the shared bottleneck resources for
+    queue-depth/utilization sampling (MDS service slots, the directory
+    leader's lease-manager CPU, per-OSD queues), and records ``(kind,
+    obs)`` here so reporting layers — the bench CLI's trace export, the
+    pytest-benchmark ``metrics`` section — can drain what a run produced.
+    Span tracing is off unless ``tracing`` is set (``--trace`` in the CLI):
+    sampling only reads resource state, but a full span record costs
+    memory proportional to the operation count.
+    """
+
+    def __init__(self):
+        self.tracing = False
+        self.sampling = True
+        self.sample_interval = DEFAULT_SAMPLE_INTERVAL
+        self.collected = []  # (kind, Observability) in build order
+
+    def reset(self, tracing: bool = None) -> None:
+        self.collected.clear()
+        if tracing is not None:
+            self.tracing = tracing
+
+    def tracers(self):
+        return [obs.tracer for _, obs in self.collected
+                if obs.tracer is not None]
+
+
+BENCH_OBS = BenchObs()
+
+
+def _attach_obs(kind: str, sim: Simulator, cluster) -> None:
+    """Attach tracing/sampling per BENCH_OBS and record the build."""
+    obs = Observability.of(sim)
+    if BENCH_OBS.tracing:
+        obs.enable_tracing(pid=len(BENCH_OBS.collected) + 1, pid_name=kind)
+    if BENCH_OBS.sampling:
+        store = getattr(cluster, "store", None)
+        for osd in getattr(store, "osds", ()):
+            obs.sample_resource(f"osd{osd.index}.q", osd.queue)
+        mds = getattr(cluster, "mds", None)
+        if mds is not None:  # cephfs / marfs metadata service
+            for m in mds.mds:
+                obs.sample_resource(f"mds{m.index}.slots", m.slots)
+        mgr = getattr(cluster, "lease_manager", None)
+        if mgr is not None:  # arkfs directory leader
+            obs.sample_resource("lease-mgr.cpu", mgr.node.cpu)
+        obs.start_sampling(BENCH_OBS.sample_interval)
+    BENCH_OBS.collected.append((kind, obs))
+
+
 FS_KINDS = (
     "arkfs",            # ArkFS-pcache on RADOS (the default configuration)
     "arkfs-no-pcache",
@@ -98,7 +152,18 @@ FS_KINDS = (
 def build(kind: str, sim: Simulator, n_clients: int,
           net: NetParams = NET_50G, cache_capacity: int = 96 * MiB,
           client_cores: int = 32):
-    """Build a named configuration; returns (cluster, mounts)."""
+    """Build a named configuration; returns (cluster, mounts).
+
+    Also attaches per-:data:`BENCH_OBS` observability (resource sampling
+    always; span tracing when enabled for the run)."""
+    cluster, mounts = _build(kind, sim, n_clients, net, cache_capacity,
+                             client_cores)
+    _attach_obs(kind, sim, cluster)
+    return cluster, mounts
+
+
+def _build(kind: str, sim: Simulator, n_clients: int,
+           net: NetParams, cache_capacity: int, client_cores: int):
     if kind in ("arkfs", "arkfs-no-pcache", "arkfs-s3", "arkfs-s3-ra400"):
         params = DEFAULT_PARAMS.with_(
             permission_cache=(kind != "arkfs-no-pcache"),

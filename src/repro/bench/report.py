@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from ..obs import format_attribution
+from ..obs.metrics import Counter, Gauge, MetricsRegistry
 
 __all__ = ["format_table", "format_series", "format_speedups",
-           "format_fanout"]
+           "format_fanout", "merge_attributions",
+           "format_attribution_merged"]
 
 LABELS = {
     "arkfs": "ArkFS",
@@ -81,14 +85,51 @@ def format_speedups(title: str, rows: Mapping[str, Mapping[str, float]],
     return "\n".join(out)
 
 
-def format_fanout(title: str, cache_stats: Mapping[str, int],
+#: Gauge metric name -> legacy high-water-mark key, per component scope.
+_CACHE_GAUGE_KEYS = {"fetch_batch": "max_fetch_batch",
+                     "wb_batch": "max_wb_batch",
+                     "inflight_gets": "max_inflight_gets",
+                     "inflight_puts": "max_inflight_puts"}
+_JOURNAL_GAUGE_KEYS = {"ckpt_batch": "ckpt_max_batch",
+                       "commit_fanout": "commit_max_fanout"}
+
+
+def _fanout_from_registry(reg: MetricsRegistry):
+    """Aggregate per-client ``*.cache.*`` / ``*.journal.*`` metrics into the
+    legacy flat-dict shapes ``format_fanout`` renders (summed counters,
+    maxed high-water marks across clients)."""
+    cache: Dict[str, int] = {}
+    journal: Dict[str, int] = {}
+    for dst, marker, gauge_keys in ((cache, ".cache.", _CACHE_GAUGE_KEYS),
+                                    (journal, ".journal.",
+                                     _JOURNAL_GAUGE_KEYS)):
+        for name, m in reg.items():
+            if marker not in name:
+                continue
+            suffix = name.split(marker, 1)[1]
+            if isinstance(m, Counter):
+                dst[suffix] = dst.get(suffix, 0) + m.value
+            elif isinstance(m, Gauge):
+                key = gauge_keys.get(suffix)
+                if key is not None:
+                    dst[key] = max(dst.get(key, 0), m.max_value)
+    return cache, (journal or None)
+
+
+def format_fanout(title: str, cache_stats,
                   journal_fanout: Optional[Mapping[str, int]] = None) -> str:
     """Summarize how parallel the scatter-gather I/O paths actually ran.
 
     Takes ``DataObjectCache.stats`` and (optionally)
-    ``JournalManager.fanout`` and renders batched-vs-serial op counts plus
-    batch-size / in-flight high-water marks — the observability check that
-    a "parallel" run really fanned out."""
+    ``JournalManager.fanout`` — or a whole :class:`MetricsRegistry`, whose
+    per-client cache/journal metrics are then aggregated — and renders
+    batched-vs-serial op counts plus batch-size / in-flight high-water
+    marks — the observability check that a "parallel" run really fanned
+    out."""
+    if isinstance(cache_stats, MetricsRegistry):
+        cache_stats, reg_journal = _fanout_from_registry(cache_stats)
+        if journal_fanout is None:
+            journal_fanout = reg_journal
     s = cache_stats
     out = [title]
     bg, sg = s.get("batched_gets", 0), s.get("serial_gets", 0)
@@ -109,4 +150,43 @@ def format_fanout(title: str, cache_stats: Mapping[str, int],
                    f"(max batch {j.get('ckpt_max_batch', 0)})")
         out.append(f"  commits     : {j.get('commit_rounds', 0):6d} rounds "
                    f"(max dirs/round {j.get('commit_max_fanout', 0)})")
+    return "\n".join(out)
+
+
+def merge_attributions(parts: Sequence[Dict[str, Dict[str, Any]]]
+                       ) -> Dict[str, Dict[str, Any]]:
+    """Merge per-build :func:`repro.obs.attribute_latency` results (one
+    figure may build the same kind many times, e.g. per client count)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for attrib in parts:
+        for phase, row in attrib.items():
+            dst = out.setdefault(phase, {
+                "ops": 0, "total_s": 0.0, "attributed_s": 0.0,
+                "unattributed_s": 0.0, "by_cat": {},
+            })
+            for key in ("ops", "total_s", "attributed_s", "unattributed_s"):
+                dst[key] += row[key]
+            for cat, sec in row["by_cat"].items():
+                dst["by_cat"][cat] = dst["by_cat"].get(cat, 0.0) + sec
+    return out
+
+
+def format_attribution_merged(collected) -> str:
+    """Latency-attribution tables for a bench run, one per fs kind.
+
+    ``collected`` is ``BENCH_OBS.collected``: ``(kind, Observability)``
+    pairs in build order; builds of the same kind merge into one table."""
+    from ..obs import attribute_latency
+
+    by_kind: Dict[str, list] = {}
+    for kind, obs in collected:
+        if obs.tracer is None or not obs.tracer.spans:
+            continue
+        by_kind.setdefault(kind, []).append(attribute_latency(obs.tracer))
+    out = []
+    for kind, parts in by_kind.items():
+        merged = merge_attributions(parts)
+        if merged:
+            out.append(format_attribution(
+                f"latency attribution — {_label(kind)}", merged))
     return "\n".join(out)

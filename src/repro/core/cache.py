@@ -17,6 +17,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs import Observability
+from ..obs.trace import span as _span
 from ..sim.engine import Event, SimGen, Simulator
 from ..sim.network import Node
 from .prt import PRT
@@ -99,19 +101,65 @@ class DataObjectCache:
         self._files: Dict[int, _FileCache] = {}
         self._lru: "OrderedDict[Tuple[int, int], CacheEntry]" = OrderedDict()
         self._reserved = 0        # cache slots claimed by scheduled prefetches
-        self._inflight_gets = 0
-        self._inflight_puts = 0
-        self.stats = {"hits": 0, "misses": 0, "prefetches": 0, "flushes": 0,
-                      "evictions": 0,
-                      # fan-out observability: batched vs serial object ops,
-                      # high-water in-flight counts, and batch sizes
-                      "batched_gets": 0, "serial_gets": 0,
-                      "batched_puts": 0, "serial_puts": 0,
-                      "fetch_batches": 0, "wb_batches": 0,
-                      "max_fetch_batch": 0, "max_wb_batch": 0,
-                      "max_inflight_gets": 0, "max_inflight_puts": 0}
+        # Metrics live in the sim-wide registry, namespaced per client so
+        # multiple caches in one simulation don't merge; the objects are
+        # pre-bound here so a count on the hot path is one attribute bump.
+        obs = Observability.of(sim)
+        label = node.name if node is not None else f"anon{id(self):x}"
+        m = obs.metrics.scope(label + ".cache")
+        self._c_hits = m.counter("hits")
+        self._c_misses = m.counter("misses")
+        self._c_prefetches = m.counter("prefetches")
+        self._c_flushes = m.counter("flushes")
+        self._c_evictions = m.counter("evictions")
+        # fan-out observability: batched vs serial object ops, high-water
+        # in-flight counts, and batch sizes
+        self._c_batched_gets = m.counter("batched_gets")
+        self._c_serial_gets = m.counter("serial_gets")
+        self._c_batched_puts = m.counter("batched_puts")
+        self._c_serial_puts = m.counter("serial_puts")
+        self._c_fetch_batches = m.counter("fetch_batches")
+        self._c_wb_batches = m.counter("wb_batches")
+        self._g_fetch_batch = m.gauge("fetch_batch")
+        self._g_wb_batch = m.gauge("wb_batch")
+        self._g_inflight_gets = m.gauge("inflight_gets")
+        self._g_inflight_puts = m.gauge("inflight_puts")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy snapshot of this cache's counters (deprecated shim).
+
+        Previously a live dict mutated in place; the keys and meanings are
+        unchanged, but the returned dict is now a point-in-time copy backed
+        by the metrics registry."""
+        return {
+            "hits": self._c_hits.value,
+            "misses": self._c_misses.value,
+            "prefetches": self._c_prefetches.value,
+            "flushes": self._c_flushes.value,
+            "evictions": self._c_evictions.value,
+            "batched_gets": self._c_batched_gets.value,
+            "serial_gets": self._c_serial_gets.value,
+            "batched_puts": self._c_batched_puts.value,
+            "serial_puts": self._c_serial_puts.value,
+            "fetch_batches": self._c_fetch_batches.value,
+            "wb_batches": self._c_wb_batches.value,
+            "max_fetch_batch": self._g_fetch_batch.max_value,
+            "max_wb_batch": self._g_wb_batch.max_value,
+            "max_inflight_gets": self._g_inflight_gets.max_value,
+            "max_inflight_puts": self._g_inflight_puts.max_value,
+        }
 
     # -- internals -------------------------------------------------------------
+
+    def _wait(self, ev: Event) -> SimGen:
+        """Wait on an in-flight fetch, attributed as queueing when traced."""
+        tr = self.sim._tracer
+        if tr is not None:
+            with tr.span("cache.wait", "queue"):
+                yield ev
+        else:
+            yield ev
 
     def _file(self, ino: int) -> _FileCache:
         fc = self._files.get(ino)
@@ -145,7 +193,7 @@ class DataObjectCache:
             if victim_key is None:
                 # Everything is mid-fetch; wait for one fetch to land.
                 first = next(iter(self._lru.values()))
-                yield first.loading
+                yield from self._wait(first.loading)
                 continue
             if len(dirty_batch) > 1:
                 # Flush a batch of dirty LRU entries concurrently (the
@@ -163,7 +211,7 @@ class DataObjectCache:
                 fc.tree.delete(idx)
                 if not fc.tree:
                     del self._files[ino]
-            self.stats["evictions"] += 1
+            self._c_evictions.inc()
 
     def _writeback(self, ino: int, entry: CacheEntry) -> SimGen:
         if not entry.dirty:
@@ -172,9 +220,8 @@ class DataObjectCache:
         # the entry rather than getting silently marked clean.
         entry.dirty = False
         snapshot = bytes(entry.data)
-        self._inflight_puts += 1
-        self.stats["max_inflight_puts"] = max(
-            self.stats["max_inflight_puts"], self._inflight_puts)
+        self._g_inflight_puts.add(1)
+        sp = _span(self.sim, "cache.writeback", "cache")
         try:
             yield from self.prt.write_object(ino, entry.index, snapshot,
                                              src=self.node)
@@ -182,8 +229,9 @@ class DataObjectCache:
             entry.dirty = True
             raise
         finally:
-            self._inflight_puts -= 1
-        self.stats["flushes"] += 1
+            sp.close()
+            self._g_inflight_puts.add(-1)
+        self._c_flushes.inc()
 
     def _writeback_batch(self, pairs) -> SimGen:
         """Write a batch of dirty ``(ino, entry)`` pairs back concurrently
@@ -191,13 +239,12 @@ class DataObjectCache:
         if not pairs:
             return
         if len(pairs) == 1:
-            self.stats["serial_puts"] += 1
+            self._c_serial_puts.inc()
             yield from self._writeback(*pairs[0])
             return
-        self.stats["wb_batches"] += 1
-        self.stats["batched_puts"] += len(pairs)
-        self.stats["max_wb_batch"] = max(self.stats["max_wb_batch"],
-                                         len(pairs))
+        self._c_wb_batches.inc()
+        self._c_batched_puts.inc(len(pairs))
+        self._g_wb_batch.track(len(pairs))
         flushes = [
             self.sim.process(self._writeback(ino, e),
                              name=f"wb:{ino:x}:{e.index}")
@@ -223,15 +270,14 @@ class DataObjectCache:
         existing = fc.tree.get(index)
         if existing is not None:
             if existing.loading is not None:
-                yield existing.loading
+                yield from self._wait(existing.loading)
             return existing
         entry = CacheEntry(index)
         entry.loading = self.sim.event()
         fc.tree.set(index, entry)
         self._touch(ino, entry)
-        self._inflight_gets += 1
-        self.stats["max_inflight_gets"] = max(
-            self.stats["max_inflight_gets"], self._inflight_gets)
+        self._g_inflight_gets.add(1)
+        sp = _span(self.sim, "cache.fetch", "cache")
         try:
             data = yield from self.prt.read_object(ino, index, src=self.node)
         except Exception as exc:
@@ -240,7 +286,8 @@ class DataObjectCache:
             entry.loading.fail(exc)
             raise
         finally:
-            self._inflight_gets -= 1
+            sp.close()
+            self._g_inflight_gets.add(-1)
         entry.data = bytearray(data)
         ev, entry.loading = entry.loading, None
         ev.succeed(entry)
@@ -256,7 +303,7 @@ class DataObjectCache:
         missing = [i for i in indices if fc.tree.get(i) is None]
         if not missing:
             return frozenset()
-        self.stats["misses"] += len(missing)
+        self._c_misses.inc(len(missing))
         limit = min(self.fetch_parallel, self.capacity)
         for start in range(0, len(missing), limit):
             batch = missing[start:start + limit]
@@ -267,13 +314,12 @@ class DataObjectCache:
                 continue
             yield from self._make_room(len(batch))
             if len(batch) == 1:
-                self.stats["serial_gets"] += 1
+                self._c_serial_gets.inc()
                 yield from self._fetch(ino, batch[0])
                 continue
-            self.stats["fetch_batches"] += 1
-            self.stats["batched_gets"] += len(batch)
-            self.stats["max_fetch_batch"] = max(
-                self.stats["max_fetch_batch"], len(batch))
+            self._c_fetch_batches.inc()
+            self._c_batched_gets.inc(len(batch))
+            self._g_fetch_batch.track(len(batch))
             fetches = [
                 self.sim.process(self._fetch(ino, i), name=f"mget:{ino:x}:{i}")
                 for i in batch
@@ -287,11 +333,11 @@ class DataObjectCache:
         entry: Optional[CacheEntry] = fc.tree.get(index)
         if entry is not None:
             if entry.loading is not None:
-                yield entry.loading
-            self.stats["hits"] += 1
+                yield from self._wait(entry.loading)
+            self._c_hits.inc()
             self._touch(ino, entry)
             return entry
-        self.stats["misses"] += 1
+        self._c_misses.inc()
         if not fetch:
             # Caller will fully overwrite: a blank entry suffices.
             yield from self._make_room()
@@ -300,7 +346,7 @@ class DataObjectCache:
             self._touch(ino, entry)
             return entry
         yield from self._make_room()
-        self.stats["serial_gets"] += 1
+        self._c_serial_gets.inc()
         entry = yield from self._fetch(ino, index)
         return entry
 
@@ -319,51 +365,56 @@ class DataObjectCache:
         if length <= 0:
             yield self.sim.timeout(0)
             return b""
-        if ra is not None:
-            ra.on_read(offset, length, self.entry_size, self.max_readahead)
-            # Kick prefetches for the window beyond this read. Slots are
-            # reserved as prefetches are scheduled (``_reserved``), so a
-            # burst of read-ahead cannot overshoot the cache capacity
-            # before its processes have installed their entries.
-            end_idx = (offset + length - 1) // self.entry_size
-            ra_end = offset + length + ra.window
-            ra_last_idx = (ra_end - 1) // self.entry_size
+        sp = _span(self.sim, "cache.read", "cache")
+        try:
+            if ra is not None:
+                ra.on_read(offset, length, self.entry_size, self.max_readahead)
+                # Kick prefetches for the window beyond this read. Slots are
+                # reserved as prefetches are scheduled (``_reserved``), so a
+                # burst of read-ahead cannot overshoot the cache capacity
+                # before its processes have installed their entries.
+                end_idx = (offset + length - 1) // self.entry_size
+                ra_end = offset + length + ra.window
+                ra_last_idx = (ra_end - 1) // self.entry_size
+                fc = self._file(ino)
+                budget = self.capacity - len(self._lru) - self._reserved
+                for idx in range(end_idx + 1, ra_last_idx + 1):
+                    if budget <= 0:
+                        break
+                    if fc.tree.get(idx) is None:
+                        budget -= 1
+                        self._reserved += 1
+                        self._c_prefetches.inc()
+                        self.sim.process(self._prefetch_one(ino, idx),
+                                         name=f"ra:{ino:x}:{idx}")
+            pieces = self.prt.chunk_range(offset, length)
+            fetched = yield from self._fetch_missing(
+                ino, [p[0] for p in pieces])
+            out = bytearray()
             fc = self._file(ino)
-            budget = self.capacity - len(self._lru) - self._reserved
-            for idx in range(end_idx + 1, ra_last_idx + 1):
-                if budget <= 0:
-                    break
-                if fc.tree.get(idx) is None:
-                    budget -= 1
-                    self._reserved += 1
-                    self.stats["prefetches"] += 1
-                    self.sim.process(self._prefetch_one(ino, idx),
-                                     name=f"ra:{ino:x}:{idx}")
-        pieces = self.prt.chunk_range(offset, length)
-        fetched = yield from self._fetch_missing(ino, [p[0] for p in pieces])
-        out = bytearray()
-        fc = self._file(ino)
-        for idx, off, n in pieces:
-            entry = fc.tree.get(idx)
-            if entry is None:
-                # Evicted between the scatter phase and assembly (only
-                # possible when the request is larger than the cache).
-                yield from self._make_room()
-                self.stats["misses"] += 1
-                self.stats["serial_gets"] += 1
-                entry = yield from self._fetch(ino, idx)
-            elif entry.loading is not None:
-                yield entry.loading
-                if idx not in fetched:
-                    self.stats["hits"] += 1
-            elif idx not in fetched:
-                self.stats["hits"] += 1
-            self._touch(ino, entry)
-            piece = bytes(entry.data[off : off + n])
-            if len(piece) < n:
-                piece += b"\x00" * (n - len(piece))
-            out += piece
-        yield from self._copy_cost(length)
+            for idx, off, n in pieces:
+                entry = fc.tree.get(idx)
+                if entry is None:
+                    # Evicted between the scatter phase and assembly (only
+                    # possible when the request is larger than the cache).
+                    yield from self._make_room()
+                    self._c_misses.inc()
+                    self._c_serial_gets.inc()
+                    entry = yield from self._fetch(ino, idx)
+                elif entry.loading is not None:
+                    yield from self._wait(entry.loading)
+                    if idx not in fetched:
+                        self._c_hits.inc()
+                elif idx not in fetched:
+                    self._c_hits.inc()
+                self._touch(ino, entry)
+                piece = bytes(entry.data[off : off + n])
+                if len(piece) < n:
+                    piece += b"\x00" * (n - len(piece))
+                out += piece
+            yield from self._copy_cost(length)
+        finally:
+            sp.close()
         return bytes(out)
 
     def _prefetch_one(self, ino: int, index: int) -> SimGen:
@@ -383,22 +434,27 @@ class DataObjectCache:
               old_size: int) -> SimGen:
         """Write-back write. ``old_size`` is the file size before this write
         (to decide whether a partial entry needs read-modify-write)."""
-        pos = 0
-        for idx, off, n in self.prt.chunk_range(offset, len(data)):
-            piece = data[pos : pos + n]
-            pos += n
-            entry_base = idx * self.entry_size
-            covers_existing = off == 0 and entry_base + n >= min(
-                old_size, entry_base + self.entry_size
-            )
-            entry = yield from self._get_entry(
-                ino, idx, fetch=not covers_existing and entry_base < old_size
-            )
-            if len(entry.data) < off:
-                entry.data += b"\x00" * (off - len(entry.data))
-            entry.data[off : off + n] = piece
-            entry.dirty = True
-        yield from self._copy_cost(len(data))
+        sp = _span(self.sim, "cache.write", "cache")
+        try:
+            pos = 0
+            for idx, off, n in self.prt.chunk_range(offset, len(data)):
+                piece = data[pos : pos + n]
+                pos += n
+                entry_base = idx * self.entry_size
+                covers_existing = off == 0 and entry_base + n >= min(
+                    old_size, entry_base + self.entry_size
+                )
+                entry = yield from self._get_entry(
+                    ino, idx,
+                    fetch=not covers_existing and entry_base < old_size
+                )
+                if len(entry.data) < off:
+                    entry.data += b"\x00" * (off - len(entry.data))
+                entry.data[off : off + n] = piece
+                entry.dirty = True
+            yield from self._copy_cost(len(data))
+        finally:
+            sp.close()
 
     def _collect_dirty(self, inos) -> SimGen:
         """Quiesce in-flight fetches for the given files and return their
@@ -410,7 +466,7 @@ class DataObjectCache:
                 continue
             for _idx, entry in list(fc.tree.items()):
                 if entry.loading is not None:
-                    yield entry.loading
+                    yield from self._wait(entry.loading)
                 if entry.dirty:
                     pairs.append((ino, entry))
         return pairs
@@ -449,7 +505,7 @@ class DataObjectCache:
                 continue
             for idx, entry in list(fc.tree.items()):
                 if entry.loading is not None:
-                    yield entry.loading
+                    yield from self._wait(entry.loading)
                 if entry.dirty and flush_dirty:
                     # Re-dirtied (or fetched-then-written) while we flushed.
                     yield from self._writeback(ino, entry)

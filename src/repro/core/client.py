@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
 from ..objectstore.errors import NoSuchKey
+from ..obs.trace import span as _span
 from ..posix import path as pathmod
 from ..posix.acl import Acl, check_perm
 from ..posix.errors import (
@@ -183,7 +184,12 @@ class ArkFSClient(LeaderOps, VFSClient):
             # already absorbed local mutations.
             latch = self._acquiring.get(dir_ino)
             if latch is not None:
-                yield latch
+                tr = self.sim._tracer
+                if tr is not None:
+                    with tr.span("lease.wait", "queue"):
+                        yield latch
+                else:
+                    yield latch
                 continue
             latch = self.sim.event()
             self._acquiring[dir_ino] = latch
@@ -194,6 +200,13 @@ class ArkFSClient(LeaderOps, VFSClient):
                 latch.succeed()
 
     def _acquire_dir_locked(self, dir_ino: int) -> SimGen:
+        sp = _span(self.sim, "lease.acquire", "lease")
+        try:
+            return (yield from self._acquire_dir_inner(dir_ino))
+        finally:
+            sp.close()
+
+    def _acquire_dir_inner(self, dir_ino: int) -> SimGen:
         while True:
             now = self.sim.now
             mt = self.metatables.get(dir_ino)
@@ -243,7 +256,12 @@ class ArkFSClient(LeaderOps, VFSClient):
             mt.last_used = now
             mt_margin = mt.lease_expires - now
             if mt_margin < self.params.lease_renew_margin:
-                resp = yield from self._mgr("lease.acquire", dir_ino, self.name)
+                sp = _span(self.sim, "lease.renew", "lease")
+                try:
+                    resp = yield from self._mgr("lease.acquire", dir_ino,
+                                                self.name)
+                finally:
+                    sp.close()
                 if isinstance(resp, LeaseGrant) and not resp.fresh:
                     mt.lease_expires = resp.expires_at
                 elif isinstance(resp, LeaseRedirect):
@@ -587,8 +605,12 @@ class ArkFSClient(LeaderOps, VFSClient):
         if (g is not None and g.expires_at > now
                 and not (want == WRITE and g.mode == READ)):
             return g
-        resp = yield from self._authority_op(
-            st.parent_ino, "flease", None, ino=handle.ino, mode=want)
+        sp = _span(self.sim, "lease.file", "lease")
+        try:
+            resp = yield from self._authority_op(
+                st.parent_ino, "flease", None, ino=handle.ino, mode=want)
+        finally:
+            sp.close()
         grant: FileLeaseGrant = resp if isinstance(resp, FileLeaseGrant) \
             else resp["grant"]
         if g is None or grant.version != g.version:
@@ -795,15 +817,18 @@ class ArkFSClient(LeaderOps, VFSClient):
                         or now - mt.last_used < self.params.lease_period
                     )
                     if in_use:
+                        sp = _span(self.sim, "lease.renew", "lease")
                         try:
                             resp = yield from self._mgr("lease.acquire",
                                                         dir_ino, self.name)
                         except NodeDown:
+                            sp.close()
                             # Manager unreachable: "do its best to
                             # synchronize all the updates in memory before
                             # the lease is expired" (Section III-E).
                             yield from self._flush_dir_state(dir_ino)
                             continue
+                        sp.close()
                         if isinstance(resp, LeaseGrant):
                             mt.lease_expires = resp.expires_at
                         else:
@@ -833,10 +858,13 @@ class ArkFSClient(LeaderOps, VFSClient):
         self.journal.drop(dir_ino)
         for ino in list(mt.inodes):
             self.fleases.forget_file(ino)
+        sp = _span(self.sim, "lease.release", "lease")
         try:
             yield from self._mgr("lease.release", dir_ino, self.name, True)
         except NodeDown:
             pass  # manager down: the lease will simply lapse
+        finally:
+            sp.close()
 
     def _revoke_holder(self, holder: str, ino: int) -> SimGen:
         """FileLeaseService callback: make one holder flush + drop a file."""

@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import Observability
+from ..obs.trace import span as _span
 from ..sim.engine import Interrupt, SimGen, Simulator
 from ..sim.network import Node
 from ..sim.resources import Mutex
@@ -178,15 +180,57 @@ class JournalManager:
         self._txn_counter = 0
         self._threads: List = []
         self._stopped = False
-        self.commits = 0        # committed transactions (stats)
-        self.checkpoints = 0
-        # Fan-out observability: how parallel the checkpoint/commit paths
-        # actually ran (surfaced by bench reports next to the cache stats).
-        self.fanout = {"ckpt_batches": 0, "ckpt_batched_ops": 0,
-                       "ckpt_serial_ops": 0, "ckpt_max_batch": 0,
-                       "commit_rounds": 0, "commit_max_fanout": 0}
+        # Commit/checkpoint counters and fan-out observability (how parallel
+        # the checkpoint/commit paths actually ran) live in the sim-wide
+        # metrics registry, namespaced per client.
+        m = Observability.of(sim).metrics.scope(client_name + ".journal")
+        self._c_commits = m.counter("commits")
+        self._c_checkpoints = m.counter("checkpoints")
+        self._c_ckpt_batches = m.counter("ckpt_batches")
+        self._c_ckpt_batched_ops = m.counter("ckpt_batched_ops")
+        self._c_ckpt_serial_ops = m.counter("ckpt_serial_ops")
+        self._c_commit_rounds = m.counter("commit_rounds")
+        self._g_ckpt_batch = m.gauge("ckpt_batch")
+        self._g_commit_fanout = m.gauge("commit_fanout")
         # (dir_ino, seq) -> committed txn awaiting checkpoint
         self._checkpoint_txns: Dict[Tuple[int, int], Transaction] = {}
+
+    @property
+    def commits(self) -> int:
+        """Committed transactions (legacy accessor for the registry counter)."""
+        return self._c_commits.value
+
+    @property
+    def checkpoints(self) -> int:
+        return self._c_checkpoints.value
+
+    @property
+    def fanout(self) -> Dict[str, int]:
+        """Legacy snapshot of the fan-out counters (deprecated shim).
+
+        Previously a live dict mutated in place; same keys, now a
+        point-in-time copy backed by the metrics registry."""
+        return {
+            "ckpt_batches": self._c_ckpt_batches.value,
+            "ckpt_batched_ops": self._c_ckpt_batched_ops.value,
+            "ckpt_serial_ops": self._c_ckpt_serial_ops.value,
+            "ckpt_max_batch": self._g_ckpt_batch.max_value,
+            "commit_rounds": self._c_commit_rounds.value,
+            "commit_max_fanout": self._g_commit_fanout.max_value,
+        }
+
+    def _acquire(self, lock: Mutex) -> SimGen:
+        """Request a journal lock, attributing a contended wait when traced.
+
+        Returns the granted request (caller must release it)."""
+        tr = self.sim._tracer
+        req = lock.request()
+        if tr is not None and not req.granted:
+            with tr.span(lock._wait_name, "queue"):
+                yield req
+        else:
+            yield req
+        return req
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -224,9 +268,8 @@ class JournalManager:
                 # Commit every assigned dirty directory in parallel — the
                 # journal objects are independent, so one slow directory
                 # must not delay the round's other commits by an RTT each.
-                self.fanout["commit_rounds"] += 1
-                self.fanout["commit_max_fanout"] = max(
-                    self.fanout["commit_max_fanout"], len(dirty))
+                self._c_commit_rounds.inc()
+                self._g_commit_fanout.track(len(dirty))
                 if len(dirty) == 1:
                     yield from self._commit_and_checkpoint(dirty[0])
                 else:
@@ -276,12 +319,11 @@ class JournalManager:
 
     def _note_ckpt_fanout(self, n_ops: int) -> None:
         if n_ops > 1:
-            self.fanout["ckpt_batches"] += 1
-            self.fanout["ckpt_batched_ops"] += n_ops
-            self.fanout["ckpt_max_batch"] = max(
-                self.fanout["ckpt_max_batch"], n_ops)
+            self._c_ckpt_batches.inc()
+            self._c_ckpt_batched_ops.inc(n_ops)
+            self._g_ckpt_batch.track(n_ops)
         else:
-            self.fanout["ckpt_serial_ops"] += n_ops
+            self._c_ckpt_serial_ops.inc(n_ops)
 
     # -- commit / checkpoint ------------------------------------------------------
 
@@ -289,18 +331,22 @@ class JournalManager:
         """Running txn -> durable journal object (the commit thread's job)."""
         if not dj.running:
             return
-        ops, dj.running = dj.running, []
-        covered = dj.ops_recorded  # everything recorded so far is in `ops`
-        seq = dj.next_seq
-        dj.next_seq += 1
-        txn = Transaction(self.new_txid(), dj.dir_ino, "update",
-                          _coalesce(ops))
-        yield from self.prt.store.put(
-            self.prt.key_journal(dj.dir_ino, seq), txn.to_bytes(),
-            src=self.node)
+        sp = _span(self.sim, "journal.commit", "journal")
+        try:
+            ops, dj.running = dj.running, []
+            covered = dj.ops_recorded  # everything recorded so far is in ops
+            seq = dj.next_seq
+            dj.next_seq += 1
+            txn = Transaction(self.new_txid(), dj.dir_ino, "update",
+                              _coalesce(ops))
+            yield from self.prt.store.put(
+                self.prt.key_journal(dj.dir_ino, seq), txn.to_bytes(),
+                src=self.node)
+        finally:
+            sp.close()
         dj.pending_seqs.append(seq)
         dj.ops_committed = covered
-        self.commits += 1
+        self._c_commits.inc()
         self._checkpoint_txns[(dj.dir_ino, seq)] = txn
 
     def _checkpoint_locked(self, dj: _DirJournal) -> SimGen:
@@ -311,20 +357,23 @@ class JournalManager:
             txn = self._checkpoint_txns.get((dj.dir_ino, seq))
             if txn is None:
                 break
-            n = yield from apply_ops(self.prt, txn.ops, src=self.node)
-            self._note_ckpt_fanout(n)
+            sp = _span(self.sim, "journal.ckpt", "journal")
             try:
-                yield from self.prt.store.delete(
-                    self.prt.key_journal(dj.dir_ino, seq), src=self.node)
-            except Exception:
-                pass
+                n = yield from apply_ops(self.prt, txn.ops, src=self.node)
+                self._note_ckpt_fanout(n)
+                try:
+                    yield from self.prt.store.delete(
+                        self.prt.key_journal(dj.dir_ino, seq), src=self.node)
+                except Exception:
+                    pass
+            finally:
+                sp.close()
             dj.pending_seqs.pop(0)
             del self._checkpoint_txns[(dj.dir_ino, seq)]
-            self.checkpoints += 1
+            self._c_checkpoints.inc()
 
     def _commit_and_checkpoint(self, dj: _DirJournal) -> SimGen:
-        req = dj.commit_lock.request()
-        yield req
+        req = yield from self._acquire(dj.commit_lock)
         try:
             yield from self._commit_locked(dj)
         finally:
@@ -332,8 +381,7 @@ class JournalManager:
         yield from self._bg_checkpoint(dj)
 
     def _bg_checkpoint(self, dj: _DirJournal) -> SimGen:
-        req = dj.ckpt_lock.request()
-        yield req
+        req = yield from self._acquire(dj.ckpt_lock)
         try:
             yield from self._checkpoint_locked(dj)
         finally:
@@ -356,8 +404,7 @@ class JournalManager:
         # serializing one PUT each.
         target = dj.ops_recorded
         while dj.ops_committed < target:
-            req = dj.commit_lock.request()
-            yield req
+            req = yield from self._acquire(dj.commit_lock)
             try:
                 if dj.ops_committed < target:
                     yield from self._commit_locked(dj)
@@ -402,8 +449,7 @@ class JournalManager:
         """
         dj = self.journal_for(dir_ino)
         yield from self._commit_and_checkpoint(dj)  # drain older state
-        req = dj.commit_lock.request()
-        yield req
+        req = yield from self._acquire(dj.commit_lock)
         try:
             seq = dj.next_seq
             dj.next_seq += 1
@@ -412,7 +458,7 @@ class JournalManager:
             yield from self.prt.store.put(
                 self.prt.key_journal(dir_ino, seq), txn.to_bytes(),
                 src=self.node)
-            self.commits += 1
+            self._c_commits.inc()
             return seq
         finally:
             dj.commit_lock.release(req)
@@ -421,13 +467,12 @@ class JournalManager:
                         commit: bool) -> SimGen:
         """Checkpoint (commit=True) or discard (commit=False) a prepared txn."""
         dj = self.journal_for(dir_ino)
-        req = dj.ckpt_lock.request()
-        yield req
+        req = yield from self._acquire(dj.ckpt_lock)
         try:
             if commit:
                 n = yield from apply_ops(self.prt, ops, src=self.node)
                 self._note_ckpt_fanout(n)
-                self.checkpoints += 1
+                self._c_checkpoints.inc()
             try:
                 yield from self.prt.store.delete(
                     self.prt.key_journal(dir_ino, seq), src=self.node)

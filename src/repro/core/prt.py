@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 from ..objectstore.base import ObjectStore
 from ..objectstore.errors import NoSuchKey
+from ..obs.trace import span as _span
 from ..sim.engine import SimGen
 from ..sim.network import Node
 from .types import Dentry, Inode, ino_hex
@@ -35,6 +36,7 @@ class PRT:
         if data_object_size <= 0:
             raise ValueError("data_object_size must be positive")
         self.store = store
+        self.sim = store.sim
         self.data_object_size = data_object_size
 
     # -- key construction ------------------------------------------------------
@@ -154,8 +156,12 @@ class PRT:
         object (the cold-read fast path when the cache fans out misses)."""
         if not indices:
             return {}
-        keys = [self.key_data(ino, idx) for idx in indices]
-        raws = yield from self.store.get_many(keys, src=src)
+        sp = _span(self.sim, "prt.read_objects", "prt")
+        try:
+            keys = [self.key_data(ino, idx) for idx in indices]
+            raws = yield from self.store.get_many(keys, src=src)
+        finally:
+            sp.close()
         return {idx: (raw if raw is not None else b"")
                 for idx, raw in zip(indices, raws)}
 
@@ -171,56 +177,73 @@ class PRT:
         if offset >= file_size:
             return b""
         length = min(length, file_size - offset)
+        sp = _span(self.sim, "prt.read_data", "prt")
         out = bytearray()
-        for idx, off, n in self.chunk_range(offset, length):
-            try:
-                piece = yield from self.store.get_range(
-                    self.key_data(ino, idx), off, n, src=src)
-            except NoSuchKey:
-                piece = b""
-            if len(piece) < n:
-                piece = piece + b"\x00" * (n - len(piece))
-            out += piece
+        try:
+            for idx, off, n in self.chunk_range(offset, length):
+                try:
+                    piece = yield from self.store.get_range(
+                        self.key_data(ino, idx), off, n, src=src)
+                except NoSuchKey:
+                    piece = b""
+                if len(piece) < n:
+                    piece = piece + b"\x00" * (n - len(piece))
+                out += piece
+        finally:
+            sp.close()
         return bytes(out)
 
     def write_data(self, ino: int, offset: int, data: bytes,
                    src: Optional[Node] = None) -> SimGen:
         """Translate a POSIX write into object PUTs (read-modify-write at
         the edges when a piece only partially covers an existing object)."""
-        pos = 0
-        for idx, off, n in self.chunk_range(offset, len(data)):
-            piece = data[pos : pos + n]
-            pos += n
-            if off == 0 and n == self.data_object_size:
-                yield from self.write_object(ino, idx, piece, src=src)
-                continue
-            old = yield from self.read_object(ino, idx, src=src)
-            buf = bytearray(old)
-            if len(buf) < off:
-                buf += b"\x00" * (off - len(buf))
-            buf[off : off + n] = piece
-            yield from self.write_object(ino, idx, bytes(buf), src=src)
+        sp = _span(self.sim, "prt.write_data", "prt")
+        try:
+            pos = 0
+            for idx, off, n in self.chunk_range(offset, len(data)):
+                piece = data[pos : pos + n]
+                pos += n
+                if off == 0 and n == self.data_object_size:
+                    yield from self.write_object(ino, idx, piece, src=src)
+                    continue
+                old = yield from self.read_object(ino, idx, src=src)
+                buf = bytearray(old)
+                if len(buf) < off:
+                    buf += b"\x00" * (off - len(buf))
+                buf[off : off + n] = piece
+                yield from self.write_object(ino, idx, bytes(buf), src=src)
+        finally:
+            sp.close()
 
     def truncate_data(self, ino: int, old_size: int, new_size: int,
                       src: Optional[Node] = None) -> SimGen:
         """Drop objects past the new EOF and trim the boundary object."""
         if new_size >= old_size:
             return
-        osz = self.data_object_size
-        first_dead = -(-new_size // osz)  # ceil: first wholly-dead index
-        last = (old_size - 1) // osz if old_size else -1
-        dead = [self.key_data(ino, idx) for idx in range(first_dead, last + 1)]
-        if dead:
-            yield from self.store.delete_many(dead, src=src)
-        if new_size % osz:
-            idx = new_size // osz
-            old = yield from self.read_object(ino, idx, src=src)
-            if len(old) > new_size % osz:
-                yield from self.write_object(ino, idx, old[: new_size % osz],
-                                             src=src)
+        sp = _span(self.sim, "prt.truncate_data", "prt")
+        try:
+            osz = self.data_object_size
+            first_dead = -(-new_size // osz)  # ceil: first wholly-dead index
+            last = (old_size - 1) // osz if old_size else -1
+            dead = [self.key_data(ino, idx)
+                    for idx in range(first_dead, last + 1)]
+            if dead:
+                yield from self.store.delete_many(dead, src=src)
+            if new_size % osz:
+                idx = new_size // osz
+                old = yield from self.read_object(ino, idx, src=src)
+                if len(old) > new_size % osz:
+                    yield from self.write_object(
+                        ino, idx, old[: new_size % osz], src=src)
+        finally:
+            sp.close()
 
     def delete_data(self, ino: int, src: Optional[Node] = None) -> SimGen:
         """Remove every data object of a file; returns count deleted."""
-        n = yield from self.store.delete_prefix(self.key_data_prefix(ino),
-                                                src=src)
+        sp = _span(self.sim, "prt.delete_data", "prt")
+        try:
+            n = yield from self.store.delete_prefix(self.key_data_prefix(ino),
+                                                    src=src)
+        finally:
+            sp.close()
         return n

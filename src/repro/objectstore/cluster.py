@@ -17,6 +17,7 @@ from __future__ import annotations
 import zlib
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.trace import span as _span
 from ..sim.engine import SimGen, Simulator
 from ..sim.network import Network, Node
 from ..sim.resources import BandwidthPipe, Resource
@@ -25,6 +26,16 @@ from .memory import InMemoryObjectStore
 from .profiles import DiskProfile, StoreProfile
 
 __all__ = ["ClusterObjectStore", "LocalDisk"]
+
+
+def _timed(sim: Simulator, delay: float, name: str, cat: str) -> SimGen:
+    """A timeout, wrapped in an attribution span when tracing is on."""
+    tr = sim._tracer
+    if tr is not None:
+        with tr.span(name, cat):
+            yield sim.timeout(delay)
+    else:
+        yield sim.timeout(delay)
 
 
 class _OSD:
@@ -38,6 +49,8 @@ class _OSD:
         # aggregate under contention still caps at media_bw.
         self.media = BandwidthPipe(sim, profile.media_bw,
                                    name=f"osd{index}.media")
+        self.wait_name = f"wait:osd{index}.q"
+        self.svc_name = f"osd{index}.svc"
         self.alive = True
 
 
@@ -85,7 +98,8 @@ class ClusterObjectStore(ObjectStore):
         per-stream bandwidth cap (dominant on S3)."""
         if src is not None and src.net is not None:
             yield from src.nic.transfer(nbytes)
-            yield self.sim.timeout(src.net.params.latency_s)
+            yield from _timed(self.sim, src.net.params.latency_s,
+                              "net.lat", "net")
         if nbytes > 0 and self.profile.per_stream_bw > 0:
             stream_time = nbytes / self.profile.per_stream_bw
             nic_time = (
@@ -94,7 +108,8 @@ class ClusterObjectStore(ObjectStore):
             # The stream is jointly limited by NIC and per-stream cap; the
             # NIC leg above already billed nic_time, pay only the excess.
             if stream_time > nic_time:
-                yield self.sim.timeout(stream_time - nic_time)
+                yield from _timed(self.sim, stream_time - nic_time,
+                                  "stream.cap", "net")
 
     def _client_leg_many(self, src: Optional[Node],
                          sizes: Sequence[int]) -> SimGen:
@@ -104,23 +119,34 @@ class ClusterObjectStore(ObjectStore):
         total = sum(sizes)
         if src is not None and src.net is not None:
             yield from src.nic.transfer(total)
-            yield self.sim.timeout(src.net.params.latency_s)
+            yield from _timed(self.sim, src.net.params.latency_s,
+                              "net.lat", "net")
         if sizes and self.profile.per_stream_bw > 0:
             stream_time = max(sizes) / self.profile.per_stream_bw
             nic_time = (
                 total / src.nic.bytes_per_sec if src is not None else 0.0
             )
             if stream_time > nic_time:
-                yield self.sim.timeout(stream_time - nic_time)
+                yield from _timed(self.sim, stream_time - nic_time,
+                                  "stream.cap", "net")
 
     def _service(self, osd: _OSD, fixed: float, nbytes: int) -> SimGen:
         """Occupy an OSD service slot for the request, then move data
         through its media pipe."""
+        tr = self.sim._tracer
         req = osd.queue.request()
-        yield req
+        if tr is not None and not req.granted:
+            with tr.span(osd.wait_name, "queue"):
+                yield req
+        else:
+            yield req
         try:
             if fixed > 0:
-                yield self.sim.timeout(fixed)
+                if tr is not None:
+                    with tr.span(osd.svc_name, "svc"):
+                        yield self.sim.timeout(fixed)
+                else:
+                    yield self.sim.timeout(fixed)
         finally:
             osd.queue.release(req)
         if nbytes > 0:
@@ -130,12 +156,17 @@ class ClusterObjectStore(ObjectStore):
 
     def get(self, key: str, src: Optional[Node] = None) -> SimGen:
         data = self.backing.sync_get(key)  # raise NoSuchKey before paying cost
-        if self.profile.erasure is not None:
-            yield from self._ec_gather(key, len(data))
-        else:
-            osd = self.osd_for(key)
-            yield from self._service(osd, self.profile.get_latency, len(data))
-        yield from self._client_leg(src, len(data))
+        sp = _span(self.sim, "store.get", "store")
+        try:
+            if self.profile.erasure is not None:
+                yield from self._ec_gather(key, len(data))
+            else:
+                osd = self.osd_for(key)
+                yield from self._service(osd, self.profile.get_latency,
+                                         len(data))
+            yield from self._client_leg(src, len(data))
+        finally:
+            sp.close()
         self.bytes_read += len(data)
         self.backing.op_counts["get"] += 1
         return data
@@ -151,30 +182,40 @@ class ClusterObjectStore(ObjectStore):
             for osd in self.shards_for(key)[:k]
         ]
         yield self.sim.all_of(reads)
-        yield self.sim.timeout(self.profile.ec_encode_latency)
+        yield from _timed(self.sim, self.profile.ec_encode_latency,
+                          "ec.decode", "cpu")
 
     def get_range(
         self, key: str, offset: int, length: int, src: Optional[Node] = None
     ) -> SimGen:
         whole = self.backing.sync_get(key)
         data = whole[offset : offset + length]
-        osd = self.osd_for(key)
-        yield from self._service(osd, self.profile.get_latency, len(data))
-        yield from self._client_leg(src, len(data))
+        sp = _span(self.sim, "store.get_range", "store")
+        try:
+            osd = self.osd_for(key)
+            yield from self._service(osd, self.profile.get_latency, len(data))
+            yield from self._client_leg(src, len(data))
+        finally:
+            sp.close()
         self.bytes_read += len(data)
         self.backing.op_counts["get"] += 1
         return data
 
     def put(self, key: str, data: bytes, src: Optional[Node] = None) -> SimGen:
-        yield from self._client_leg(src, len(data))
-        yield from self._server_put(key, data)
+        sp = _span(self.sim, "store.put", "store")
+        try:
+            yield from self._client_leg(src, len(data))
+            yield from self._server_put(key, data)
+        finally:
+            sp.close()
 
     def _server_put(self, key: str, data: bytes) -> SimGen:
         """Backend side of a PUT (replication / EC fan-out, no client leg)."""
         if self.profile.erasure is not None:
             k, m = self.profile.erasure
             shard = -(-len(data) // k)
-            yield self.sim.timeout(self.profile.ec_encode_latency)
+            yield from _timed(self.sim, self.profile.ec_encode_latency,
+                              "ec.encode", "cpu")
             writes = [
                 self.sim.process(
                     self._service(osd, self.profile.put_latency, shard),
@@ -199,15 +240,23 @@ class ClusterObjectStore(ObjectStore):
 
     def delete(self, key: str, src: Optional[Node] = None) -> SimGen:
         self.backing.sync_head(key)  # existence check (NoSuchKey)
-        osd = self.osd_for(key)
-        yield from self._service(osd, self.profile.delete_latency, 0)
+        sp = _span(self.sim, "store.delete", "store")
+        try:
+            osd = self.osd_for(key)
+            yield from self._service(osd, self.profile.delete_latency, 0)
+        finally:
+            sp.close()
         self.backing.sync_delete(key)
         self.backing.op_counts["delete"] += 1
 
     def head(self, key: str, src: Optional[Node] = None) -> SimGen:
         size = self.backing.sync_head(key)
-        osd = self.osd_for(key)
-        yield from self._service(osd, self.profile.head_latency, 0)
+        sp = _span(self.sim, "store.head", "store")
+        try:
+            osd = self.osd_for(key)
+            yield from self._service(osd, self.profile.head_latency, 0)
+        finally:
+            sp.close()
         self.backing.op_counts["head"] += 1
         return size
 
@@ -215,7 +264,8 @@ class ClusterObjectStore(ObjectStore):
         keys = self.backing.sync_list(prefix)
         # LIST is served page by page (metadata service, not OSD media).
         pages = max(1, -(-len(keys) // self.profile.list_page))
-        yield self.sim.timeout(pages * self.profile.list_latency)
+        yield from _timed(self.sim, pages * self.profile.list_latency,
+                          "store.list", "svc")
         self.backing.op_counts["list"] += 1
         return keys
 
@@ -224,16 +274,20 @@ class ClusterObjectStore(ObjectStore):
         # The primary OSD arbitrates atomically. The reservation below makes
         # the existence check and the claim a single simulation step, so two
         # concurrent exclusive creates cannot both win.
-        if key in self.backing or key in self._pending_creates:
-            osd = self.osd_for(key)
-            yield from self._service(osd, self.profile.put_latency, 0)
-            return False
-        self._pending_creates.add(key)
+        sp = _span(self.sim, "store.put_if_absent", "store")
         try:
-            yield from self.put(key, data, src=src)
+            if key in self.backing or key in self._pending_creates:
+                osd = self.osd_for(key)
+                yield from self._service(osd, self.profile.put_latency, 0)
+                return False
+            self._pending_creates.add(key)
+            try:
+                yield from self.put(key, data, src=src)
+            finally:
+                self._pending_creates.discard(key)
+            return True
         finally:
-            self._pending_creates.discard(key)
-        return True
+            sp.close()
 
     # -- batched operations ----------------------------------------------------
     #
@@ -243,23 +297,29 @@ class ClusterObjectStore(ObjectStore):
 
     def get_many(self, keys: Sequence[str],
                  src: Optional[Node] = None) -> SimGen:
+        tr = self.sim._tracer
+        sp = _span(self.sim, "store.get_many", "store")
         values = [self.backing._data.get(k) for k in keys]
-        reads = []
-        for key, data in zip(keys, values):
-            if data is None:
-                continue
-            if self.profile.erasure is not None:
-                reads.append(self.sim.process(
-                    self._ec_gather(key, len(data)), name=f"mget:{key}"))
-            else:
-                reads.append(self.sim.process(
-                    self._service(self.osd_for(key), self.profile.get_latency,
-                                  len(data)),
-                    name=f"mget:{key}"))
-        if reads:
-            yield self.sim.all_of(reads)
-        sizes = [len(d) for d in values if d is not None]
-        yield from self._client_leg_many(src, sizes)
+        try:
+            reads = []
+            for key, data in zip(keys, values):
+                if data is None:
+                    continue
+                if self.profile.erasure is not None:
+                    gen = self._ec_gather(key, len(data))
+                else:
+                    gen = self._service(self.osd_for(key),
+                                        self.profile.get_latency, len(data))
+                if tr is not None:
+                    # Per-item span inside the scatter-gather batch.
+                    gen = tr.wrap("store.get", gen, "store", key=key)
+                reads.append(self.sim.process(gen, name=f"mget:{key}"))
+            if reads:
+                yield self.sim.all_of(reads)
+            sizes = [len(d) for d in values if d is not None]
+            yield from self._client_leg_many(src, sizes)
+        finally:
+            sp.close()
         self.bytes_read += sum(sizes)
         self.backing.op_counts["get"] += len(sizes)
         return values
@@ -268,26 +328,36 @@ class ClusterObjectStore(ObjectStore):
                  src: Optional[Node] = None) -> SimGen:
         if not items:
             return
-        yield from self._client_leg_many(src, [len(d) for _k, d in items])
-        writes = [
-            self.sim.process(self._server_put(k, d), name=f"mput:{k}")
-            for k, d in items
-        ]
-        yield self.sim.all_of(writes)
+        tr = self.sim._tracer
+        sp = _span(self.sim, "store.put_many", "store")
+        try:
+            yield from self._client_leg_many(src, [len(d) for _k, d in items])
+            writes = []
+            for k, d in items:
+                gen = self._server_put(k, d)
+                if tr is not None:
+                    gen = tr.wrap("store.put", gen, "store", key=k)
+                writes.append(self.sim.process(gen, name=f"mput:{k}"))
+            yield self.sim.all_of(writes)
+        finally:
+            sp.close()
 
     def delete_many(self, keys: Sequence[str],
                     src: Optional[Node] = None) -> SimGen:
+        tr = self.sim._tracer
+        sp = _span(self.sim, "store.delete_many", "store")
         present = [k for k in keys if k in self.backing]
-        deletes = [
-            self.sim.process(
-                self._service(self.osd_for(k), self.profile.delete_latency, 0),
-                name=f"mdel:{k}")
-            for k in present
-        ]
+        deletes = []
+        for k in present:
+            gen = self._service(self.osd_for(k), self.profile.delete_latency, 0)
+            if tr is not None:
+                gen = tr.wrap("store.delete", gen, "store", key=k)
+            deletes.append(self.sim.process(gen, name=f"mdel:{k}"))
         if deletes:
             yield self.sim.all_of(deletes)
         else:
             yield self.sim.timeout(0)
+        sp.close()
         removed = 0
         for key in present:
             if key in self.backing:  # not raced away while we waited
@@ -329,11 +399,13 @@ class LocalDisk:
         self.bytes_written = 0
 
     def read(self, nbytes: int) -> SimGen:
-        yield self.sim.timeout(self.profile.latency)
+        yield from _timed(self.sim, self.profile.latency,
+                          f"{self.name}.lat", "media")
         yield from self.pipe.transfer(nbytes)
         self.bytes_read += nbytes
 
     def write(self, nbytes: int) -> SimGen:
-        yield self.sim.timeout(self.profile.latency)
+        yield from _timed(self.sim, self.profile.latency,
+                          f"{self.name}.lat", "media")
         yield from self.pipe.transfer(nbytes)
         self.bytes_written += nbytes

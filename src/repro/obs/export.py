@@ -1,0 +1,181 @@
+"""Exporters: Chrome trace-event JSON and per-phase latency attribution.
+
+The trace export emits ``ph: "X"`` (complete) events with microsecond
+timestamps of *simulated* time, one Chrome "thread" per simulation process
+and one "process" per tracer (per file-system kind in a bench run), plus
+``M`` metadata records naming both. The output loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Latency attribution answers "where did each operation's simulated time
+go?": for every root (VFS-op) span, the intervals of its *primitive*
+descendant spans — CPU holds, NIC/media transfers, network latency, queue
+waits, OSD/MDS service — are clipped to the root, unioned per category,
+and aggregated per benchmark phase. Whatever the union does not cover is
+reported honestly as "unattributed". Categories may overlap in wall time
+under parallelism (a fan-out can use the NIC and OSD media at once), so
+per-category percentages can sum past 100%; the attributed/unattributed
+split is computed on the merged union and always sums to 100%.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .trace import ROOT_CAT, Span, SpanTracer
+
+__all__ = [
+    "PRIMITIVE_CATS",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "attribute_latency",
+    "format_attribution",
+]
+
+#: Leaf span categories that attribute simulated time to a component.
+PRIMITIVE_CATS = ("cpu", "net", "queue", "svc", "media", "fuse")
+
+
+# -- Chrome trace-event JSON --------------------------------------------------
+
+
+def chrome_trace_events(tracers: Iterable[SpanTracer]) -> List[dict]:
+    events: List[dict] = []
+    for tracer in tracers:
+        pid = tracer.pid
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": tracer.pid_name}})
+        for tid in sorted(tracer.tid_names):
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid,
+                           "args": {"name": tracer.tid_names[tid]}})
+        for s in tracer.spans:
+            if s.end is None:
+                continue
+            ev: Dict[str, Any] = {
+                "name": s.name,
+                "cat": s.cat or "span",
+                "ph": "X",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round((s.end - s.start) * 1e6, 3),
+                "pid": pid,
+                "tid": s.tid,
+            }
+            args = dict(s.args) if s.args else {}
+            if s.phase:
+                args["phase"] = s.phase
+            if args:
+                ev["args"] = args
+            events.append(ev)
+    return events
+
+
+def write_chrome_trace(path: str, tracers: Iterable[SpanTracer]) -> int:
+    """Write a Perfetto-loadable trace; returns the number of events."""
+    events = chrome_trace_events(tracers)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    # allow_nan=False: a NaN/Infinity would produce non-standard JSON that
+    # Perfetto rejects — fail loudly here instead.
+    text = json.dumps(doc, allow_nan=False)
+    with open(path, "w") as f:
+        f.write(text)
+    return len(events)
+
+
+# -- latency attribution ------------------------------------------------------
+
+
+def _top_root(s: Span) -> Optional[Span]:
+    """Outermost root-category ancestor of ``s`` (itself included)."""
+    top = None
+    cur: Optional[Span] = s
+    while cur is not None:
+        if cur.cat == ROOT_CAT:
+            top = cur
+        cur = cur.parent
+    return top
+
+
+def _union(intervals: List[Tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_a, cur_b = intervals[0]
+    for a, b in intervals[1:]:
+        if a > cur_b:
+            total += cur_b - cur_a
+            cur_a, cur_b = a, b
+        elif b > cur_b:
+            cur_b = b
+    return total + (cur_b - cur_a)
+
+
+def attribute_latency(tracer: SpanTracer) -> Dict[str, Dict[str, Any]]:
+    """Per-phase latency breakdown over the tracer's closed spans.
+
+    Returns ``{phase: {"ops", "total_s", "by_cat": {cat: seconds},
+    "attributed_s", "unattributed_s"}}`` where seconds are the per-root
+    clipped interval unions summed over the phase's root spans.
+    """
+    primitive = set(PRIMITIVE_CATS)
+    roots: List[Span] = []
+    per_root: Dict[int, Dict[str, List[Tuple[float, float]]]] = {}
+    for s in tracer.spans:
+        if s.end is None:
+            continue
+        if s.cat == ROOT_CAT:
+            if _top_root(s) is s:
+                roots.append(s)
+            continue
+        if s.cat not in primitive:
+            continue
+        r = _top_root(s)
+        if r is None or r.end is None:
+            continue
+        a, b = max(s.start, r.start), min(s.end, r.end)
+        if b <= a:
+            continue
+        per_root.setdefault(id(r), {}).setdefault(s.cat, []).append((a, b))
+
+    out: Dict[str, Dict[str, Any]] = {}
+    for r in roots:
+        row = out.setdefault(r.phase or "-", {
+            "ops": 0, "total_s": 0.0, "attributed_s": 0.0,
+            "unattributed_s": 0.0, "by_cat": {},
+        })
+        dur = (r.end or r.start) - r.start
+        row["ops"] += 1
+        row["total_s"] += dur
+        cats = per_root.get(id(r), {})
+        merged: List[Tuple[float, float]] = []
+        for cat, ivs in cats.items():
+            row["by_cat"][cat] = row["by_cat"].get(cat, 0.0) + _union(list(ivs))
+            merged.extend(ivs)
+        covered = min(_union(merged), dur)
+        row["attributed_s"] += covered
+        row["unattributed_s"] += dur - covered
+    return out
+
+
+def format_attribution(title: str,
+                       attrib: Dict[str, Dict[str, Any]]) -> str:
+    """Render an attribution table: per phase, % of op latency per
+    component (categories overlap under parallelism) plus unattributed."""
+    cats = [c for c in PRIMITIVE_CATS
+            if any(c in row["by_cat"] for row in attrib.values())]
+    out = [title]
+    header = f"  {'phase':<10} {'ops':>7} {'total(s)':>10}"
+    header += "".join(f"{c + '%':>8}" for c in cats) + f"{'unattr%':>8}"
+    out.append(header)
+    for phase in sorted(attrib):
+        row = attrib[phase]
+        total = row["total_s"]
+        line = f"  {phase:<10} {row['ops']:>7} {total:>10.3f}"
+        for c in cats:
+            pct = 100.0 * row["by_cat"].get(c, 0.0) / total if total else 0.0
+            line += f"{pct:>7.1f} "
+        unattr = 100.0 * row["unattributed_s"] / total if total else 0.0
+        line += f"{unattr:>7.1f} "
+        out.append(line)
+    return "\n".join(out)

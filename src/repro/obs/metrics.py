@@ -1,0 +1,262 @@
+"""Unified metrics: counters, gauges, histograms, and time series.
+
+One :class:`MetricsRegistry` per simulation (attached lazily through
+:class:`repro.obs.Observability`) replaces the ad-hoc ``stats`` dicts that
+used to be sprinkled through the cache and journal. Components pre-bind
+their metric objects at construction time, so the hot-path cost of a count
+is one attribute increment — no dict lookups, no string formatting.
+
+Histograms use fixed log-spaced buckets (so percentile queries are O(#
+buckets), independent of sample count) while tracking exact count / sum /
+min / max, which keeps means exact and percentiles monotone.
+
+Everything here is measured in *simulated* units; nothing reads wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down; tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, v) -> None:
+        self.value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    def add(self, delta) -> None:
+        self.set(self.value + delta)
+
+    def track(self, v) -> None:
+        """Record an observation for the high-water mark only."""
+        if v > self.max_value:
+            self.max_value = v
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "max": self.max_value}
+
+
+def _log_bounds(lo: float, hi: float, per_decade: int) -> List[float]:
+    n = int(math.ceil((math.log10(hi) - math.log10(lo)) * per_decade)) + 1
+    return [lo * 10 ** (i / per_decade) for i in range(n)]
+
+
+class Histogram:
+    """Fixed log-spaced buckets with exact count/sum/min/max.
+
+    The default range (1 ns .. 10 ks) covers every simulated latency this
+    repository produces; observations outside it clamp to the edge buckets.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_counts")
+
+    LO = 1e-9
+    HI = 1e4
+    PER_DECADE = 20
+    BOUNDS = _log_bounds(LO, HI, PER_DECADE)  # upper edge of each bucket
+    _LOG_LO = math.log10(LO)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._counts = [0] * len(Histogram.BOUNDS)
+
+    def _index(self, v: float) -> int:
+        if v <= Histogram.LO:
+            return 0
+        i = int((math.log10(v) - Histogram._LOG_LO) * Histogram.PER_DECADE)
+        return min(max(i, 0), len(self._counts) - 1)
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self._counts[self._index(v)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile (0..100); exact at the min/max edges."""
+        if not self.count:
+            return 0.0
+        if q >= 100.0:
+            # Exact even when the max clamped into the top bucket.
+            return self.max
+        rank = q / 100.0 * self.count
+        cum = 0
+        for i, n in enumerate(self._counts):
+            if not n:
+                continue
+            if cum + n >= rank:
+                lo = Histogram.BOUNDS[i - 1] if i else 0.0
+                hi = Histogram.BOUNDS[i]
+                frac = (rank - cum) / n
+                v = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                return max(self.min, min(self.max, v))
+            cum += n
+        return self.max
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class Series:
+    """A decimating time series of ``(t, value)`` samples.
+
+    Memory is bounded: once ``MAX_POINTS`` samples accumulate, every other
+    point is dropped and the sampling stride doubles, so an arbitrarily
+    long run keeps an evenly spread ~thousand-point sketch.
+    """
+
+    __slots__ = ("name", "times", "values", "_stride", "_tick")
+
+    MAX_POINTS = 2048
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self._stride = 1
+        self._tick = 0
+
+    def add(self, t: float, v: float) -> None:
+        self._tick += 1
+        if self._tick % self._stride:
+            return
+        self.times.append(t)
+        self.values.append(v)
+        if len(self.times) >= Series.MAX_POINTS:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        return {"t": self.times, "v": self.values}
+
+
+class _Scope:
+    """A prefixed view onto a registry (per-component namespacing)."""
+
+    __slots__ = ("_reg", "_prefix")
+
+    def __init__(self, reg: "MetricsRegistry", prefix: str):
+        self._reg = reg
+        self._prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._reg.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._reg.gauge(self._prefix + name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._reg.histogram(self._prefix + name)
+
+    def series(self, name: str) -> Series:
+        return self._reg.series(self._prefix + name)
+
+
+class MetricsRegistry:
+    """Name-addressed metric store; metrics are created on first use."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series)
+
+    def scope(self, prefix: str) -> _Scope:
+        """A view that prefixes every metric name with ``prefix + '.'``."""
+        return _Scope(self, prefix + "." if prefix else "")
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def items(self):
+        """``(name, metric)`` pairs, insertion-ordered."""
+        return self._metrics.items()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-safe snapshot grouped by metric type."""
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "series": {},
+        }
+        groups: List[Tuple[type, str]] = [
+            (Counter, "counters"), (Gauge, "gauges"),
+            (Histogram, "histograms"), (Series, "series"),
+        ]
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            for cls, key in groups:
+                if isinstance(m, cls):
+                    out[key][name] = m.to_dict()
+                    break
+        return out

@@ -1,0 +1,197 @@
+"""Span tracing over simulated time.
+
+A :class:`Span` is pure bookkeeping: opening one reads ``sim.now`` and
+pushes it onto a per-process stack; closing it reads ``sim.now`` again and
+appends the finished span to the tracer. No events are scheduled and no
+process state is touched, so *enabling tracing can never perturb the DES
+schedule* — traced and untraced runs pop the identical event sequence.
+
+With tracing disabled (``sim._tracer is None``, the default) instrumented
+hot paths pay a single attribute check; the :func:`span` helper returns a
+shared no-op context manager, so no span objects are allocated at all.
+
+Parenting across fan-outs: the engine records which process spawned which
+(:attr:`Process.parent_proc`) and which process is currently being stepped
+(:attr:`Simulator._active_proc`). A span opened in a process whose own
+stack is empty parents onto the innermost open span of its spawner (cached
+at first use), so the per-item spans inside a ``get_many`` scatter still
+hang off the VFS read that caused them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "SpanTracer", "span", "wrap", "NULL_SPAN", "ROOT_CAT"]
+
+#: Category that marks operation root spans (one per VFS op).
+ROOT_CAT = "vfs"
+
+_MISSING = object()
+
+
+class _NullSpan:
+    """Shared no-op stand-in used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def close(self) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed interval in simulated time. Usable as a context manager."""
+
+    __slots__ = ("name", "cat", "start", "end", "args", "parent", "tid",
+                 "phase", "_tracer")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str,
+                 args: Optional[Dict[str, Any]], parent: Optional["Span"],
+                 tid: int, phase: str, start: float):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.parent = parent
+        self.tid = tid
+        self.phase = phase
+        self.start = start
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else
+                self._tracer.sim.now) - self.start
+
+    def close(self) -> None:
+        if self.end is None:
+            self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class SpanTracer:
+    """Collects spans for one simulation, keyed by simulation process."""
+
+    def __init__(self, sim, pid: int = 1, pid_name: str = "sim"):
+        self.sim = sim
+        self.pid = pid
+        self.pid_name = pid_name
+        self.phase = ""
+        self.spans: List[Span] = []          # closed spans, in close order
+        self.tid_names: Dict[int, str] = {}
+        self._stacks: Dict[Any, List[Span]] = {}   # Process (or None) -> open
+        self._tids: Dict[int, int] = {}            # id(process) -> tid
+        self._spawn_parent: Dict[int, Optional[Span]] = {}
+        self._procs: List[Any] = []   # keeps traced processes alive so the
+        self._next_tid = 1            # id()-keyed maps above stay unambiguous
+
+    # -- opening / closing --------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args) -> Span:
+        """Open a span under the currently-stepped process."""
+        proc = self.sim._active_proc
+        key = id(proc) if proc is not None else None
+        stack = self._stacks.get(key)
+        if stack is None:
+            stack = self._stacks[key] = []
+            if proc is not None:
+                self._procs.append(proc)
+        parent = stack[-1] if stack else self._resolve_spawn_parent(proc)
+        s = Span(self, name, cat, args or None, parent, self._tid_for(proc),
+                 self.phase, self.sim.now)
+        stack.append(s)
+        return s
+
+    def _close(self, s: Span) -> None:
+        s.end = self.sim.now
+        proc = self.sim._active_proc
+        key = id(proc) if proc is not None else None
+        stack = self._stacks.get(key)
+        if stack and stack[-1] is s:
+            stack.pop()
+        else:
+            # Closed from another frame (generator GC'd, interrupt unwind):
+            # remove the span from whichever stack holds it.
+            for st in self._stacks.values():
+                if s in st:
+                    st.remove(s)
+                    break
+        self.spans.append(s)
+
+    # -- parent / thread resolution -----------------------------------------
+
+    def _resolve_spawn_parent(self, proc) -> Optional[Span]:
+        """The span that was innermost-open when ``proc``'s chain was
+        spawned; cached so one process keeps a consistent parent."""
+        if proc is None:
+            return None
+        got = self._spawn_parent.get(id(proc), _MISSING)
+        if got is not _MISSING:
+            return got
+        parent_span: Optional[Span] = None
+        p = proc.parent_proc
+        while p is not None:
+            stack = self._stacks.get(id(p))
+            if stack:
+                parent_span = stack[-1]
+                break
+            got = self._spawn_parent.get(id(p), _MISSING)
+            if got is not _MISSING:
+                parent_span = got
+                break
+            p = p.parent_proc
+        if parent_span is None:
+            stack = self._stacks.get(None)
+            parent_span = stack[-1] if stack else None
+        self._spawn_parent[id(proc)] = parent_span
+        return parent_span
+
+    def _tid_for(self, proc) -> int:
+        if proc is None:
+            self.tid_names.setdefault(0, "main")
+            return 0
+        tid = self._tids.get(id(proc))
+        if tid is None:
+            tid = self._next_tid
+            self._next_tid += 1
+            self._tids[id(proc)] = tid
+            self.tid_names[tid] = proc.name or f"proc{tid}"
+        return tid
+
+    # -- convenience --------------------------------------------------------
+
+    def wrap(self, name: str, gen, cat: str = ROOT_CAT, **args):
+        """Drive ``gen`` to completion inside a span (generator helper)."""
+        with self.span(name, cat, **args):
+            return (yield from gen)
+
+
+def span(sim, name: str, cat: str = ""):
+    """Open a span on ``sim``'s tracer, or the shared no-op when disabled."""
+    tr = sim._tracer
+    if tr is None:
+        return NULL_SPAN
+    return tr.span(name, cat)
+
+
+def wrap(sim, gen, name: str, cat: str = ""):
+    """Wrap a generator in a span; returns ``gen`` unchanged when disabled."""
+    tr = sim._tracer
+    if tr is None:
+        return gen
+    return tr.wrap(name, gen, cat)

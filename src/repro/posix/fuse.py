@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs.trace import ROOT_CAT
 from ..sim.engine import SimGen
 from ..sim.network import Node
 from ..sim.resources import Mutex
@@ -88,16 +89,32 @@ class _MountBase(VFSClient):
         """Cost of shipping one request through the mount boundary."""
         self.request_count += 1
         if self.params.crossing_latency > 0:
-            yield self.sim.timeout(self.params.crossing_latency)
+            tr = self.sim._tracer
+            if tr is not None:
+                with tr.span("fuse.crossing", "fuse"):
+                    yield self.sim.timeout(self.params.crossing_latency)
+            else:
+                yield self.sim.timeout(self.params.crossing_latency)
         if self.params.dispatch_cpu > 0:
             yield from self.node.work(self.params.dispatch_cpu)
+
+    def _lock(self, lock: Mutex) -> SimGen:
+        """Request ``lock``, attributing a contended wait when traced;
+        returns the granted request (caller releases it)."""
+        tr = self.sim._tracer
+        req = lock.request()
+        if tr is not None and not req.granted:
+            with tr.span(lock._wait_name, "queue"):
+                yield req
+        else:
+            yield req
+        return req
 
     def _globally_locked(self, gen: SimGen) -> SimGen:
         """Run ``gen`` under the client-global mutex (ceph-fuse style)."""
         if self._global_lock is None:
             return (yield from gen)
-        req = self._global_lock.request()
-        yield req
+        req = yield from self._lock(self._global_lock)
         try:
             yield from self.node.work(self.params.global_lock_service)
             return (yield from gen)
@@ -146,8 +163,7 @@ class _MountBase(VFSClient):
 
         if hold_dir_lock:
             lock = self._dir_lock(parent)
-            req = lock.request()
-            yield req
+            req = yield from self._lock(lock)
             try:
                 result = yield from self._globally_locked(resolve())
             finally:
@@ -190,8 +206,7 @@ class _MountBase(VFSClient):
         if lock_parent:
             parent, _name = pathmod.parent_and_name(path)
             lock = self._dir_lock(parent)
-            req = lock.request()
-            yield req
+            req = yield from self._lock(lock)
             try:
                 return (yield from self._globally_locked(gen))
             finally:
@@ -271,8 +286,7 @@ class _MountBase(VFSClient):
         ceph-fuse bulk data movement collapses under multiple processes."""
         yield from self._request()
         if self._global_lock is not None:
-            req = self._global_lock.request()
-            yield req
+            req = yield from self._lock(self._global_lock)
             try:
                 yield from self.node.work(self.params.effective_data_lock)
             finally:
@@ -339,6 +353,40 @@ class _MountBase(VFSClient):
     def setfacl(self, creds: Credentials, path: str, acl) -> SimGen:
         return (yield from self._pathop(
             creds, path, self.inner.setfacl(creds, path, acl)))
+
+
+# Every public VFS op gets a root span ("vfs.<op>") so cross-layer latency
+# attribution has one top-level interval per operation, across ArkFS and
+# every baseline alike (they all sit behind a mount). The wrapper returns
+# the raw generator untouched while tracing is disabled — zero allocations,
+# one attribute check — and the span names are precomputed at import time.
+_VFS_OPS = (
+    "lookup", "mkdir", "rmdir", "open", "close", "unlink", "stat", "lstat",
+    "readdir", "rename", "read", "write", "fsync", "truncate", "chmod",
+    "chown", "utimens", "access", "symlink", "readlink", "statfs",
+    "getfacl", "setfacl",
+)
+
+
+def _with_root_span(op: str, fn):
+    name = "vfs." + op
+
+    def method(self, *args, **kwargs):
+        gen = fn(self, *args, **kwargs)
+        tr = self.sim._tracer
+        if tr is None:
+            return gen
+        return tr.wrap(name, gen, ROOT_CAT)
+
+    method.__name__ = fn.__name__
+    method.__qualname__ = fn.__qualname__
+    method.__doc__ = fn.__doc__
+    return method
+
+
+for _op in _VFS_OPS:
+    setattr(_MountBase, _op, _with_root_span(_op, getattr(_MountBase, _op)))
+del _op
 
 
 class FuseMount(_MountBase):

@@ -8,16 +8,19 @@ distributions in *simulated* time:
     ... run a workload against ``traced`` ...
     print(traced.report())
 
-Percentiles are computed with numpy over the raw sample arrays, so tracing
-a million operations stays cheap.
+This is a thin adapter over :mod:`repro.obs`: each operation type is backed
+by one :class:`repro.obs.Histogram`, so there is a single percentile
+implementation in the repository (fixed log-spaced buckets — constant
+memory regardless of operation count). Structural timing (where inside an
+operation the time went) is the span tracer's job; this wrapper only
+answers "how long did each op type take end to end".
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-import numpy as np
-
+from ..obs.metrics import Histogram
 from ..sim.engine import SimGen
 from .vfs import VFSClient
 
@@ -25,30 +28,31 @@ __all__ = ["TracingClient", "OpTrace"]
 
 
 class OpTrace:
-    """Latency samples for one operation type."""
+    """Latency distribution for one operation type (histogram-backed)."""
 
-    __slots__ = ("samples", "errors")
+    __slots__ = ("hist", "errors")
 
-    def __init__(self):
-        self.samples: List[float] = []
+    def __init__(self, name: str = ""):
+        self.hist = Histogram(name)
         self.errors = 0
+
+    def observe(self, latency: float) -> None:
+        self.hist.observe(latency)
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self.hist.count
 
     def percentile(self, q: float) -> float:
-        if not self.samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self.samples), q))
+        return self.hist.percentile(q)
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.samples)) if self.samples else 0.0
+        return self.hist.mean
 
     @property
     def total(self) -> float:
-        return float(np.sum(self.samples)) if self.samples else 0.0
+        return self.hist.sum
 
 
 class TracingClient(VFSClient):
@@ -67,7 +71,7 @@ class TracingClient(VFSClient):
     def _trace(self, name: str) -> OpTrace:
         t = self.traces.get(name)
         if t is None:
-            t = OpTrace()
+            t = OpTrace(name)
             self.traces[name] = t
         return t
 
@@ -78,9 +82,9 @@ class TracingClient(VFSClient):
             result = yield from gen
         except Exception:
             trace.errors += 1
-            trace.samples.append(self.sim.now - t0)
+            trace.observe(self.sim.now - t0)
             raise
-        trace.samples.append(self.sim.now - t0)
+        trace.observe(self.sim.now - t0)
         return result
 
     # Every VFS method delegates through _timed; generated uniformly.

@@ -151,13 +151,16 @@ class Process(Event):
     generator's return value) or raises (failure, with the exception).
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "name", "parent_proc")
 
     def __init__(self, sim: "Simulator", gen: SimGen, name: str = ""):
         Event.__init__(self, sim)
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        # The process that spawned this one (None for top-level processes).
+        # Observability uses the chain to parent spans across fan-outs.
+        self.parent_proc: Optional["Process"] = sim._active_proc
         # Kick off at the current time.
         start = Event(sim)
         self._waiting_on = start
@@ -200,6 +203,9 @@ class Process(Event):
             self._step(event._value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
+        sim = self.sim
+        prev_active = sim._active_proc
+        sim._active_proc = self
         try:
             if throw:
                 target = self._gen.throw(value)
@@ -211,6 +217,8 @@ class Process(Event):
         except BaseException as exc:  # noqa: BLE001 - propagate via event
             self.fail(exc)
             return
+        finally:
+            sim._active_proc = prev_active
         if not isinstance(target, Event):
             self._gen.close()
             self.fail(
@@ -286,10 +294,18 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: a time-ordered heap of triggered events."""
 
+    # Span tracer hook (set by repro.obs when tracing is enabled). A class
+    # attribute so instrumented hot paths can read ``sim._tracer`` without
+    # getattr defaults; ``None`` means tracing is off.
+    _tracer = None
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        # Process currently being stepped (i.e. whose generator frame is on
+        # the Python stack). Spawning a Process inside it records the chain.
+        self._active_proc: Optional[Process] = None
 
     # -- scheduling --------------------------------------------------------
 

@@ -91,6 +91,24 @@ class Node:
         caller (after paying the response network cost), mirroring how a gRPC
         error status travels back. Transport failures raise :class:`RpcError`.
         """
+        tr = self.sim._tracer
+        if tr is not None:
+            with tr.span("rpc:" + method, "rpc", dst=target.name):
+                return (yield from self._call(target, method, *args,
+                                              req_size=req_size,
+                                              resp_size=resp_size))
+        return (yield from self._call(target, method, *args,
+                                      req_size=req_size,
+                                      resp_size=resp_size))
+
+    def _call(
+        self,
+        target: "Node",
+        method: str,
+        *args: Any,
+        req_size: int = 256,
+        resp_size: int = 256,
+    ) -> SimGen:
         assert self.net is not None, "node not attached to a network"
         if not self.alive:
             raise NodeDown(f"caller {self.name} is down")
@@ -148,5 +166,10 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size
         yield from src.nic.transfer(size)
-        yield self.sim.timeout(self.params.latency_s)
+        tr = self.sim._tracer
+        if tr is not None:
+            with tr.span("net.lat", "net"):
+                yield self.sim.timeout(self.params.latency_s)
+        else:
+            yield self.sim.timeout(self.params.latency_s)
         yield from dst.nic.transfer(size)

@@ -16,6 +16,17 @@ from .engine import Event, SimGen, Simulator, SimulationError
 __all__ = ["Request", "Resource", "Mutex", "Store", "BandwidthPipe", "serve"]
 
 
+def _span_cat(name: str) -> str:
+    """Latency-attribution category for a resource, by naming convention."""
+    if name.endswith(".cpu"):
+        return "cpu"
+    if name.endswith(".nic"):
+        return "net"
+    if name.endswith(".media"):
+        return "media"
+    return "svc"
+
+
 class Request(Event):
     """A pending claim on a :class:`Resource` slot.
 
@@ -45,6 +56,8 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self.span_cat = _span_cat(name)
+        self._wait_name = f"wait:{name}" if name else "wait"
         self._in_use = 0
         self._queue: Deque[Request] = deque()
 
@@ -83,12 +96,25 @@ class Resource:
         req.succeed(req)
 
     def use(self, hold_time: float) -> SimGen:
-        """Generator helper: acquire, hold for ``hold_time``, release."""
+        """Generator helper: acquire, hold for ``hold_time``, release.
+
+        With tracing on, a contended acquisition gets a queue-wait span and
+        the hold gets a span in the resource's attribution category; the
+        yielded event sequence is identical either way."""
+        tr = self.sim._tracer
         req = self.request()
-        yield req
+        if tr is not None and not req.granted:
+            with tr.span(self._wait_name, "queue"):
+                yield req
+        else:
+            yield req
         try:
             if hold_time > 0:
-                yield self.sim.timeout(hold_time)
+                if tr is not None:
+                    with tr.span(self.name or "hold", self.span_cat):
+                        yield self.sim.timeout(hold_time)
+                else:
+                    yield self.sim.timeout(hold_time)
         finally:
             self.release(req)
 
@@ -156,6 +182,9 @@ class BandwidthPipe:
         self.bytes_per_sec = float(bytes_per_sec)
         self.name = name
         self._res = Resource(sim, capacity=max(1, lanes), name=name)
+        if self._res.span_cat == "svc":
+            # Pipes move data: local disks etc. attribute as "media".
+            self._res.span_cat = "media"
         self.bytes_moved = 0
 
     def transfer(self, nbytes: int) -> SimGen:

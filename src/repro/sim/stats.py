@@ -10,28 +10,44 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.metrics import Histogram
 from .engine import Simulator
 
 __all__ = ["OpStats", "PhaseResult", "PhaseRecorder", "BandwidthMeter"]
 
 
-@dataclass
 class OpStats:
-    """Per-operation-type latency/count accumulator."""
+    """Per-operation-type latency/count accumulator.
 
-    count: int = 0
-    total_time: float = 0.0
-    max_time: float = 0.0
+    Backed by :class:`repro.obs.Histogram` so the unified metrics layer is
+    the single implementation of latency accumulation; this class keeps the
+    historical attribute names (``count`` / ``total_time`` / ``max_time``)
+    and adds percentile access through ``hist``.
+    """
+
+    __slots__ = ("hist",)
+
+    def __init__(self):
+        self.hist = Histogram("")
 
     def record(self, elapsed: float) -> None:
-        self.count += 1
-        self.total_time += elapsed
-        if elapsed > self.max_time:
-            self.max_time = elapsed
+        self.hist.observe(elapsed)
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+    @property
+    def total_time(self) -> float:
+        return self.hist.sum
+
+    @property
+    def max_time(self) -> float:
+        return self.hist.max
 
     @property
     def mean_time(self) -> float:
-        return self.total_time / self.count if self.count else 0.0
+        return self.hist.mean
 
 
 @dataclass
@@ -51,13 +67,15 @@ class PhaseResult:
 
     @property
     def ops_per_sec(self) -> float:
-        return self.ops / self.elapsed if self.elapsed > 0 else float("inf")
+        # A zero-elapsed phase (nothing simulated) reports 0.0, not inf —
+        # inf breaks strict-JSON serialization of benchmark results.
+        return self.ops / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
     def bandwidth_mbps(self) -> float:
         """MB/s (decimal megabytes, matching fio's reporting)."""
         if self.elapsed <= 0:
-            return float("inf")
+            return 0.0
         return self.bytes_moved / self.elapsed / 1e6
 
 

@@ -51,11 +51,20 @@ class WorkloadRunner:
             drop = getattr(mount, "invalidate_dcache", None)
             if drop is not None:
                 drop()
+        tracer = self.sim._tracer
+        if tracer is not None:
+            # Spans opened during this phase carry its name, which is what
+            # the latency-attribution report groups by.
+            tracer.phase = name
         self.recorder.begin(name)
         procs = [self.sim.process(f(), name=f"{name}[{i}]")
                  for i, f in enumerate(factories)]
-        run_phase(self.sim, procs)
-        self._sync_all()
+        try:
+            run_phase(self.sim, procs)
+            self._sync_all()
+        finally:
+            if tracer is not None:
+                tracer.phase = ""
         self.recorder.count(ops, nbytes)
         return self.recorder.end()
 

@@ -1,0 +1,123 @@
+"""Unit tests for the unified metrics layer."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Series
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == 5
+
+
+class TestGauge:
+    def test_set_add_tracks_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.add(2)
+        g.add(-4)
+        assert g.value == 1
+        assert g.max_value == 5
+
+    def test_track_only_updates_max(self):
+        g = Gauge("batch")
+        g.track(7)
+        g.track(2)
+        assert g.value == 0
+        assert g.max_value == 7
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        h = Histogram("lat")
+        for v in (1e-6, 5e-3, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(2.005001)
+        assert h.min == 1e-6
+        assert h.max == 2.0
+        assert h.mean == pytest.approx(h.sum / 3)
+
+    def test_percentiles_monotone_and_clamped(self):
+        h = Histogram("lat")
+        for i in range(1, 1001):
+            h.observe(i * 1e-5)
+        prev = 0.0
+        for q in (1, 10, 25, 50, 75, 90, 95, 99, 100):
+            p = h.percentile(q)
+            assert p >= prev
+            assert h.min <= p <= h.max
+            prev = p
+        # log-spaced buckets: p50 within one bucket width of the true median
+        assert h.percentile(50) == pytest.approx(5e-3, rel=0.15)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("lat").percentile(99) == 0.0
+
+    def test_out_of_range_observations_clamp(self):
+        h = Histogram("lat")
+        h.observe(1e-12)   # below LO
+        h.observe(1e6)     # above HI
+        assert h.count == 2
+        assert h.percentile(100) == 1e6
+
+    def test_to_dict_json_safe(self):
+        h = Histogram("lat")
+        h.observe(1e-3)
+        json.dumps(h.to_dict(), allow_nan=False)
+        json.dumps(Histogram("empty").to_dict(), allow_nan=False)
+
+
+class TestSeries:
+    def test_decimation_bounds_memory(self):
+        s = Series("qdepth")
+        n = 10 * Series.MAX_POINTS
+        for i in range(n):
+            s.add(i * 1e-3, float(i))
+        assert len(s.times) < Series.MAX_POINTS
+        # The sketch still spans the whole run.
+        assert s.times[0] <= 1e-2 * n * 1e-3
+        assert s.times[-1] >= 0.9 * n * 1e-3
+
+    def test_small_series_keeps_every_point(self):
+        s = Series("util")
+        for i in range(10):
+            s.add(float(i), 0.5)
+        assert len(s.times) == 10
+        assert s.to_dict() == {"t": s.times, "v": s.values}
+
+
+class TestRegistry:
+    def test_scoped_names_and_reuse(self):
+        reg = MetricsRegistry()
+        scope = reg.scope("client0.cache")
+        c = scope.counter("hits")
+        c.inc()
+        assert reg.counter("client0.cache.hits") is c
+        assert "client0.cache.hits" in reg
+        assert reg.get("missing") is None
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_to_dict_groups_by_type(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1)
+        reg.histogram("c").observe(0.5)
+        reg.series("d").add(0.0, 1.0)
+        snap = reg.to_dict()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"]["b"] == {"value": 1, "max": 1}
+        assert snap["histograms"]["c"]["count"] == 1
+        assert snap["series"]["d"] == {"t": [0.0], "v": [1.0]}
+        json.dumps(snap, allow_nan=False)

@@ -43,6 +43,23 @@ def test_phase_recorder_bandwidth():
     assert r.bandwidth_mbps == pytest.approx(50.0)
 
 
+def test_zero_elapsed_phase_is_finite():
+    # A phase that opens and closes at the same sim time must report 0.0
+    # rates (not inf/nan) so BENCH_*.json stays strict-JSON serializable.
+    import json
+
+    sim = Simulator()
+    rec = PhaseRecorder(sim)
+    rec.begin("EMPTY")
+    rec.count(5, nbytes=1000)
+    r = rec.end()
+    assert r.elapsed == 0.0
+    assert r.ops_per_sec == 0.0
+    assert r.bandwidth_mbps == 0.0
+    json.dumps({"ops_per_sec": r.ops_per_sec,
+                "bandwidth_mbps": r.bandwidth_mbps}, allow_nan=False)
+
+
 def test_phase_recorder_errors():
     sim = Simulator()
     rec = PhaseRecorder(sim)
