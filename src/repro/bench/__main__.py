@@ -5,10 +5,16 @@ Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
 cross-layer spans for every simulated cluster the run builds: the file is
 Chrome trace-event JSON (load it at https://ui.perfetto.dev), and a
 per-phase latency-attribution table is printed per file-system kind.
+
+Pass ``--faults transient`` (or set ``REPRO_FAULTS=transient``) to slide a
+deterministic fault plan beneath the arkfs builds: every Nth store
+operation fails with a retryable error, and the run prints the retry
+counters and backoff totals the clients accumulated absorbing them.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -67,9 +73,31 @@ def run_target(name: str, scale) -> None:
     print(f"[{name}: {time.time() - t0:.1f}s wall]\n")
 
 
+def format_fault_report(collected) -> str:
+    """Summarize fault injections and the retries that absorbed them."""
+    lines = ["Fault injection — transient errors and client retries"]
+    for kind, obs in collected:
+        snap = obs.metrics.to_dict()
+        counters = snap["counters"]
+        injected = counters.get("faults.transient", 0)
+        attempts = counters.get("store.retry.attempts", 0)
+        giveups = counters.get("store.retry.giveups", 0)
+        if not (injected or attempts):
+            continue
+        hist = snap["histograms"].get("store.retry.backoff", {})
+        lines.append(
+            f"  {kind:<16} injected={injected} retries={attempts} "
+            f"giveups={giveups} backoff_total={hist.get('sum', 0.0):.4f}s "
+            f"backoff_max={hist.get('max', 0.0) * 1e3:.1f}ms")
+    if len(lines) == 1:
+        lines.append("  (no faults fired)")
+    return "\n".join(lines)
+
+
 def main(argv) -> None:
     args = []
     trace_path = None
+    fault_mode = os.environ.get("REPRO_FAULTS") or None
     it = iter(argv)
     for a in it:
         if a == "--trace":
@@ -78,15 +106,29 @@ def main(argv) -> None:
                 raise SystemExit("--trace requires an output path")
         elif a.startswith("--trace="):
             trace_path = a.split("=", 1)[1]
+        elif a == "--faults":
+            fault_mode = next(it, None)
+            if fault_mode is None:
+                raise SystemExit("--faults requires a mode (transient)")
+        elif a.startswith("--faults="):
+            fault_mode = a.split("=", 1)[1]
         elif not a.startswith("-"):
             args.append(a)
+    if fault_mode not in (None, "transient"):
+        raise SystemExit(f"unknown fault mode {fault_mode!r}")
     scale = SMALL if "--small" in argv else DEFAULT
     BENCH_OBS.reset(tracing=trace_path is not None)
+    BENCH_OBS.fault_mode = fault_mode
     targets = args or ["all"]
     if "all" in targets:
         targets = list(TARGETS)
-    for name in targets:
-        run_target(name, scale)
+    try:
+        for name in targets:
+            run_target(name, scale)
+        if fault_mode is not None:
+            print(format_fault_report(BENCH_OBS.collected))
+    finally:
+        BENCH_OBS.fault_mode = None
     if trace_path is not None:
         from ..obs import write_chrome_trace
 

@@ -101,6 +101,12 @@ class BenchObs:
         self.sampling = True
         self.sample_interval = DEFAULT_SAMPLE_INTERVAL
         self.collected = []  # (kind, Observability) in build order
+        # Fault-injection mode for arkfs builds: None (default, no shim
+        # installed at all — bit-identical results) or "transient"
+        # (deterministic periodic TransientErrors; the retry counters and
+        # backoff histogram then show up in the BENCH_*.json metrics).
+        self.fault_mode = None
+        self.transient_every = 101
 
     def reset(self, tracing: bool = None) -> None:
         self.collected.clear()
@@ -176,9 +182,15 @@ def _build(kind: str, sim: Simulator, n_clients: int,
             profile = S3_PROFILE
             params = params.with_(max_readahead=400 * MiB,
                                   cache_capacity_bytes=512 * MiB)
+        faults = None
+        if BENCH_OBS.fault_mode == "transient":
+            from ..faults import FaultPlan
+
+            faults = FaultPlan()
+            faults.transient_every = BENCH_OBS.transient_every
         cluster = build_arkfs(sim, n_clients=n_clients, params=params,
                               store_profile=profile, net_params=net,
-                              client_cores=client_cores)
+                              client_cores=client_cores, faults=faults)
         return cluster, cluster.mounts
 
     if kind in ("cephfs-k", "cephfs-k16", "cephfs-f"):

@@ -23,6 +23,7 @@ from ..sim.engine import Event, SimGen, Simulator
 from ..sim.network import Node
 from .prt import PRT
 from .radix import RadixTree
+from .retry import RetryPolicy
 
 __all__ = ["CacheEntry", "ReadAheadState", "DataObjectCache"]
 
@@ -81,12 +82,13 @@ class DataObjectCache:
     def __init__(self, sim: Simulator, prt: PRT, node: Optional[Node],
                  entry_size: int, capacity_bytes: int, max_readahead: int,
                  copy_bw: float = 8e9, writeback_parallel: int = 8,
-                 fetch_parallel: int = 16):
+                 fetch_parallel: int = 16, retry: Optional[RetryPolicy] = None):
         if entry_size != prt.data_object_size:
             raise ValueError("cache entry size must equal the PRT object size")
         self.sim = sim
         self.prt = prt
         self.node = node
+        self._retry = retry or RetryPolicy(sim)
         self.entry_size = entry_size
         self.capacity = max(1, capacity_bytes // entry_size)
         self.max_readahead = max_readahead
@@ -223,8 +225,9 @@ class DataObjectCache:
         self._g_inflight_puts.add(1)
         sp = _span(self.sim, "cache.writeback", "cache")
         try:
-            yield from self.prt.write_object(ino, entry.index, snapshot,
-                                             src=self.node)
+            yield from self._retry.call(
+                lambda: self.prt.write_object(ino, entry.index, snapshot,
+                                              src=self.node))
         except Exception:
             entry.dirty = True
             raise
@@ -279,7 +282,8 @@ class DataObjectCache:
         self._g_inflight_gets.add(1)
         sp = _span(self.sim, "cache.fetch", "cache")
         try:
-            data = yield from self.prt.read_object(ino, index, src=self.node)
+            data = yield from self._retry.call(
+                lambda: self.prt.read_object(ino, index, src=self.node))
         except Exception as exc:
             fc.tree.delete(index)
             self._lru.pop((ino, index), None)

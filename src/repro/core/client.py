@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
-from ..objectstore.errors import NoSuchKey
+from ..objectstore.errors import NoSuchKey, TransientError
 from ..obs.trace import span as _span
 from ..posix import path as pathmod
 from ..posix.acl import Acl, check_perm
@@ -42,7 +42,7 @@ from ..posix.errors import (
 from ..posix.types import Credentials, FileType, OpenFlags, F_OK, X_OK
 from ..posix.vfs import FileHandle, VFSClient
 from ..sim.engine import Interrupt, SimGen, Simulator
-from ..sim.network import Node, NodeDown
+from ..sim.network import MessageDropped, Node, NodeDown
 from .cache import DataObjectCache, ReadAheadState
 from .filelease import DIRECT, FileLeaseGrant, READ, WRITE, FileLeaseService
 from .journal import JournalManager
@@ -52,6 +52,7 @@ from .ops import LeaderOps, RedirectError
 from .params import ArkFSParams
 from .prt import PRT
 from .recovery import DECISION_ABORT, DECISION_COMMIT, recover_directory
+from .retry import RetryPolicy
 from .types import Dentry, Inode, InoAllocator, ROOT_INO
 
 __all__ = ["ArkFSClient", "OpenState"]
@@ -97,6 +98,7 @@ class ArkFSClient(LeaderOps, VFSClient):
         self.pcache: Dict[int, Tuple[Inode, float]] = {}
         self.pcache_dentries: Dict[Tuple[int, str], Tuple[Dentry, float]] = {}
 
+        self._retry = RetryPolicy.from_params(sim, params)
         self.journal = JournalManager(sim, prt, params, node, self.name)
         self.cache = DataObjectCache(
             sim, prt, node,
@@ -106,6 +108,7 @@ class ArkFSClient(LeaderOps, VFSClient):
             copy_bw=params.cache_copy_bw,
             fetch_parallel=params.fetch_parallel,
             writeback_parallel=params.writeback_parallel,
+            retry=self._retry,
         )
         self.fleases = FileLeaseService(sim, params.file_lease_period,
                                         self._revoke_holder)
@@ -160,9 +163,15 @@ class ArkFSClient(LeaderOps, VFSClient):
         return result
 
     def _mgr(self, method: str, *args: Any) -> SimGen:
-        """Call the lease manager responsible for args[0] (a dir ino)."""
+        """Call the lease manager responsible for args[0] (a dir ino).
+
+        Lost messages (fault injection) are retried with bounded exponential
+        backoff — a dropped lease RPC must not surface as a dead manager.
+        A genuinely dead manager still raises NodeDown immediately."""
         target = self._lease_node_for(args[0])
-        return (yield from self.node.call(target, method, *args))
+        return (yield from self._retry.call(
+            lambda: self.node.call(target, method, *args),
+            retry_on=(MessageDropped,)))
 
     # ------------------------------------------------------- lease acquisition
 
@@ -218,22 +227,26 @@ class ArkFSClient(LeaderOps, VFSClient):
             resp = yield from self._mgr("lease.acquire", dir_ino, self.name)
             if isinstance(resp, LeaseGrant):
                 if resp.needs_recovery:
-                    yield from recover_directory(self.prt, dir_ino,
-                                                 src=self.node)
+                    # Journal replay is idempotent, so transient store errors
+                    # mid-recovery are absorbed by re-running it.
+                    yield from self._retry.call(
+                        lambda: recover_directory(self.prt, dir_ino,
+                                                  src=self.node))
                     yield from self._mgr("lease.recovered", dir_ino, self.name)
                 if not resp.fresh and mt is not None:
                     mt.lease_expires = resp.expires_at
                     mt.epoch = resp.epoch
                     return ("local", mt)
                 try:
-                    dir_inode = yield from self.prt.get_inode(dir_ino,
-                                                              src=self.node)
+                    dir_inode = yield from self._retry.call(
+                        lambda: self.prt.get_inode(dir_ino, src=self.node))
                 except NoSuchKey:
                     yield from self._mgr("lease.release", dir_ino, self.name,
                                          True)
                     raise NotFound(f"dir {dir_ino:x}", "directory removed")
-                mt = yield from load_metatable(self.prt, dir_inode, self.node,
-                                               resp.expires_at, resp.epoch)
+                mt = yield from self._retry.call(
+                    lambda: load_metatable(self.prt, dir_inode, self.node,
+                                           resp.expires_at, resp.epoch))
                 self.metatables[dir_ino] = mt
                 self.remotes.pop(dir_ino, None)
                 self.pcache.pop(dir_ino, None)
@@ -285,6 +298,10 @@ class ArkFSClient(LeaderOps, VFSClient):
         """Run an op at the directory's authority; retries across leader
         changes. Returns (result, leader_name_or_None_if_local)."""
         self.op_stats[opname] = self.op_stats.get(opname, 0) + 1
+        # Unreachable peers and transient store errors back off exponentially
+        # (bounded by the attempt budget); redirects retry immediately, since
+        # they carry fresh routing information.
+        backoff = self.params.lease_retry_delay
         for _attempt in range(16):
             kind, who = yield from self._acquire_dir(dir_ino)
             try:
@@ -307,7 +324,17 @@ class ArkFSClient(LeaderOps, VFSClient):
                     self.remotes.pop(dir_ino, None)
             except NodeDown:
                 self.remotes.pop(dir_ino, None)
-                yield self.sim.timeout(self.params.lease_retry_delay)
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, self.params.lease_period)
+            except TransientError:
+                # The op-level retries (journal/cache/PRT) already gave up:
+                # the outage outlasted one inner backoff ladder. Wait longer
+                # and re-dispatch. Like any at-most-once RPC retry this can
+                # observe the first attempt's partial effect (e.g. mkdir →
+                # EEXIST), which callers must treat as success-ambiguity.
+                self._retry.note_retry(backoff)
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, self.params.lease_period)
         raise IOFailure(detail=f"no stable authority for dir {dir_ino:x}")
 
     # ------------------------------------------------------------- resolution
@@ -507,30 +534,43 @@ class ArkFSClient(LeaderOps, VFSClient):
                 dp, "rename_prepare_dst", creds, name=dname, payload=payload,
                 txid=txid, decision_key=dkey)
         except FSError:
-            yield from self.prt.store.put_if_absent(dkey, DECISION_ABORT,
-                                                    src=self.node)
+            yield from self._retry.call(
+                lambda: self.prt.store.put_if_absent(dkey, DECISION_ABORT,
+                                                     src=self.node))
             yield from self._finish_participant(sp, src_leader, txid, False)
             raise
-        won = yield from self.prt.store.put_if_absent(dkey, DECISION_COMMIT,
-                                                      src=self.node)
+        won = yield from self._retry.call(
+            lambda: self.prt.store.put_if_absent(dkey, DECISION_COMMIT,
+                                                 src=self.node))
         if won:
             commit = True
         else:
-            value = yield from self.prt.store.get(dkey, src=self.node)
+            value = yield from self._retry.call(
+                lambda: self.prt.store.get(dkey, src=self.node))
             commit = value == DECISION_COMMIT
-        yield from self._finish_participant(sp, src_leader, txid, commit)
-        yield from self._finish_participant(dp, dst_leader, txid, commit)
-        try:
-            yield from self.prt.store.delete(dkey, src=self.node)
-        except NoSuchKey:
-            pass
+        src_done = yield from self._finish_participant(sp, src_leader, txid,
+                                                       commit)
+        dst_done = yield from self._finish_participant(dp, dst_leader, txid,
+                                                       commit)
+        # The decision record may only die once nothing can consult it. If a
+        # participant's phase 2 failed (leader churn), its journal still
+        # holds the prepared transaction — recovery will resolve it against
+        # this record, and deleting it now would let recovery write a fresh
+        # "abort" after the other side already committed.
+        if src_done and dst_done:
+            try:
+                yield from self._retry.call(
+                    lambda: self.prt.store.delete(dkey, src=self.node))
+            except NoSuchKey:
+                pass
         if not commit:
             raise IOFailure(detail=f"rename {txid} aborted by recovery")
 
     def _finish_participant(self, dir_ino: int, leader: Optional[str],
                             txid: str, commit: bool) -> SimGen:
         """Phase 2 at one participant; tolerant of leader churn (the journal
-        + decision record make recovery reach the same outcome)."""
+        + decision record make recovery reach the same outcome). Returns
+        True when the participant definitely resolved its prepared txn."""
         try:
             if leader is None:
                 yield from self._op_rename_finish(
@@ -541,7 +581,8 @@ class ArkFSClient(LeaderOps, VFSClient):
                                            creds=None, dir_ino=dir_ino,
                                            txid=txid, commit=commit)
         except (NodeDown, RedirectError, FSError):
-            pass
+            return False
+        return True
 
     # -------------------------------------------------------------- VFS: stat
 

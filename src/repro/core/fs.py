@@ -71,6 +71,7 @@ def build_arkfs(
     functional: bool = False,
     seed: int = 0,
     n_lease_managers: int = 1,
+    faults: Optional["FaultPlan"] = None,
 ) -> ArkFSCluster:
     """Build a full ArkFS cluster.
 
@@ -78,6 +79,12 @@ def build_arkfs(
     tests); otherwise a :class:`ClusterObjectStore` with ``store_profile``
     (RADOS-like by default). The lease manager is deployed on one of the
     client nodes, as in the paper's evaluation setup.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) slides a fault-injection
+    shim beneath the store and the network. When it is ``None`` — the
+    default — no wrapper is installed at all, so fault-free runs are
+    structurally guaranteed to be bit-identical to a build without this
+    parameter.
     """
     net = Network(sim, net_params or NetParams())
     if store is None:
@@ -86,6 +93,11 @@ def build_arkfs(
         else:
             store = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
                                        net=net)
+    if faults is not None:
+        from ..faults.store import FaultyObjectStore
+        store = FaultyObjectStore(store, faults)
+        net.faults = faults
+        faults.attach(sim)
     prt = PRT(store, params.data_object_size)
     mkfs(sim, store)
 

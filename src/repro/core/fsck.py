@@ -58,8 +58,18 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def fsck(prt: PRT, src: Optional[Node] = None) -> SimGen:
-    """Run the full consistency scan; returns an :class:`FsckReport`."""
+def fsck(prt: PRT, src: Optional[Node] = None,
+         after_crash: bool = False) -> SimGen:
+    """Run the full consistency scan; returns an :class:`FsckReport`.
+
+    ``after_crash=True`` relaxes exactly the checks a crash is *allowed*
+    to violate: data objects belonging to no inode, and data past EOF.
+    Both are garbage a crashed client legitimately leaves behind (a data
+    PUT whose metadata commit never happened, or an interrupted async
+    purge) — cleanup fodder, not corruption. Everything the journal/2PC
+    machinery promises (namespace integrity, nlink, no leftover journal
+    transactions after recovery) stays a hard error.
+    """
     report = FsckReport()
     store = prt.store
     keys = yield from store.list("", src=src)
@@ -161,12 +171,16 @@ def fsck(prt: PRT, src: Optional[Node] = None) -> SimGen:
                     f"dir {ino:x} nlink={inode.nlink}, expected {expected}")
 
     # -- data objects -----------------------------------------------------------------
+    # After a crash, unreferenced/past-EOF data objects are expected garbage
+    # (data lands before the metadata commit); report them as warnings so
+    # the crash-consistency checker can still demand `clean`.
+    data_garbage = (report.warnings.append if after_crash
+                    else report.errors.append)
     osz = prt.data_object_size
     for ino, indices in data_owners.items():
         inode = inodes.get(ino)
         if inode is None:
-            report.errors.append(
-                f"data objects for nonexistent inode {ino:x}")
+            data_garbage(f"data objects for nonexistent inode {ino:x}")
             continue
         if not inode.is_file:
             report.errors.append(f"data objects under non-file {ino:x}")
@@ -175,11 +189,11 @@ def fsck(prt: PRT, src: Optional[Node] = None) -> SimGen:
             start = idx * osz
             length = data_sizes[(ino, idx)]
             if start >= inode.size and length > 0:
-                report.errors.append(
+                data_garbage(
                     f"file {ino:x}: data object {idx} lies past EOF "
                     f"(size {inode.size})")
             elif start + length > inode.size:
-                report.errors.append(
+                data_garbage(
                     f"file {ino:x}: data object {idx} extends past EOF")
 
     # -- journals & decisions --------------------------------------------------------------

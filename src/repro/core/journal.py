@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..objectstore.errors import NoSuchKey
 from ..obs import Observability
 from ..obs.trace import span as _span
 from ..sim.engine import Interrupt, SimGen, Simulator
@@ -29,6 +30,7 @@ from ..sim.network import Node
 from ..sim.resources import Mutex
 from .params import ArkFSParams
 from .prt import PRT
+from .retry import RetryPolicy
 from .types import Dentry, Inode, ino_hex
 
 __all__ = ["JournalOp", "Transaction", "JournalManager", "apply_ops",
@@ -180,6 +182,7 @@ class JournalManager:
         self._txn_counter = 0
         self._threads: List = []
         self._stopped = False
+        self._retry = RetryPolicy.from_params(sim, params)
         # Commit/checkpoint counters and fan-out observability (how parallel
         # the checkpoint/commit paths actually ran) live in the sim-wide
         # metrics registry, namespaced per client.
@@ -339,9 +342,10 @@ class JournalManager:
             dj.next_seq += 1
             txn = Transaction(self.new_txid(), dj.dir_ino, "update",
                               _coalesce(ops))
-            yield from self.prt.store.put(
-                self.prt.key_journal(dj.dir_ino, seq), txn.to_bytes(),
-                src=self.node)
+            raw = txn.to_bytes()
+            jkey = self.prt.key_journal(dj.dir_ino, seq)
+            yield from self._retry.call(
+                lambda: self.prt.store.put(jkey, raw, src=self.node))
         finally:
             sp.close()
         dj.pending_seqs.append(seq)
@@ -359,12 +363,19 @@ class JournalManager:
                 break
             sp = _span(self.sim, "journal.ckpt", "journal")
             try:
-                n = yield from apply_ops(self.prt, txn.ops, src=self.node)
+                n = yield from self._retry.call(
+                    lambda: apply_ops(self.prt, txn.ops, src=self.node))
                 self._note_ckpt_fanout(n)
+                # The invalidating DELETE must stick: a silently-skipped one
+                # leaves a stale journal object that a later leader (whose
+                # seq counter restarts at 0) would replay over newer state.
+                # Transient failures are retried; only true absence passes.
                 try:
-                    yield from self.prt.store.delete(
-                        self.prt.key_journal(dj.dir_ino, seq), src=self.node)
-                except Exception:
+                    yield from self._retry.call(
+                        lambda: self.prt.store.delete(
+                            self.prt.key_journal(dj.dir_ino, seq),
+                            src=self.node))
+                except NoSuchKey:
                     pass
             finally:
                 sp.close()
@@ -455,9 +466,10 @@ class JournalManager:
             dj.next_seq += 1
             txn = Transaction(txid, dir_ino, "prepare", _coalesce(ops),
                               decision_key=decision_key)
-            yield from self.prt.store.put(
-                self.prt.key_journal(dir_ino, seq), txn.to_bytes(),
-                src=self.node)
+            raw = txn.to_bytes()
+            jkey = self.prt.key_journal(dir_ino, seq)
+            yield from self._retry.call(
+                lambda: self.prt.store.put(jkey, raw, src=self.node))
             self._c_commits.inc()
             return seq
         finally:
@@ -470,13 +482,15 @@ class JournalManager:
         req = yield from self._acquire(dj.ckpt_lock)
         try:
             if commit:
-                n = yield from apply_ops(self.prt, ops, src=self.node)
+                n = yield from self._retry.call(
+                    lambda: apply_ops(self.prt, ops, src=self.node))
                 self._note_ckpt_fanout(n)
                 self._c_checkpoints.inc()
             try:
-                yield from self.prt.store.delete(
-                    self.prt.key_journal(dir_ino, seq), src=self.node)
-            except Exception:
+                yield from self._retry.call(
+                    lambda: self.prt.store.delete(
+                        self.prt.key_journal(dir_ino, seq), src=self.node))
+            except NoSuchKey:
                 pass
         finally:
             dj.ckpt_lock.release(req)

@@ -245,8 +245,11 @@ class LeaderOps:
             yield from self._revoke_all_holders(dentry.ino)
             # Data objects are purged asynchronously (UUID inode numbers mean
             # a re-created name can never collide with the dying objects).
-            self.sim.process(self.prt.delete_data(dentry.ino, src=self.node),
-                             name=f"purge:{dentry.ino:x}")
+            ino_ = dentry.ino
+            self.sim.process(
+                self._retry.call(
+                    lambda: self.prt.delete_data(ino_, src=self.node)),
+                name=f"purge:{ino_:x}")
         self.fleases.forget_file(dentry.ino)
         return dentry.ino
 
@@ -560,7 +563,8 @@ class LeaderOps:
         self.journal.record(mt.dir_ino, ops_del_inode(dentry.ino))
         if inode is not None and inode.ftype is FileType.REGULAR and inode.size:
             yield from self._revoke_all_holders(dentry.ino)
-            yield from self.prt.delete_data(dentry.ino, src=self.node)
+            yield from self._retry.call(
+                lambda: self.prt.delete_data(dentry.ino, src=self.node))
         else:
             yield self.sim.timeout(0)
         self.fleases.forget_file(dentry.ino)

@@ -48,6 +48,11 @@ class ArkFSParams:
     # --- permission caching mode (Section III-C) ----------------------------
     permission_cache: bool = True          # ArkFS-pcache vs ArkFS-no-pcache
 
+    # --- transient-failure handling (client-side store SDK behavior) --------
+    store_retry_limit: int = 6             # retries per op before giving up
+    store_retry_base: float = 1e-3         # first backoff; doubles per retry
+    store_retry_cap: float = 0.064         # backoff ceiling (bounded expo)
+
     # --- client-side CPU service costs (calibration) -------------------------
     md_op_cpu: float = 8e-6       # one local metadata operation on a metatable
     lookup_cpu: float = 2e-6      # one local component resolution

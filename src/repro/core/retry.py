@@ -1,0 +1,80 @@
+"""Bounded exponential backoff for retryable storage / transport failures.
+
+Object stores fail transiently (S3 503 SlowDown, RADOS EAGAIN); a real
+client SDK absorbs those with capped exponential backoff. Every component
+that talks to the store (journal commit/checkpoint, cache writeback and
+fetch, the 2PC coordinator, recovery driven from lease acquisition) wraps
+its store calls in a :class:`RetryPolicy` so an injected
+:class:`~repro.objectstore.errors.TransientError` never kills a background
+thread or leaks out of a VFS call — it costs backoff time instead.
+
+Retries are observable: every retry increments ``store.retry.attempts`` and
+records the backoff slept in the ``store.retry.backoff`` histogram (one
+registry-wide pair, so BENCH output shows the aggregate when faults are
+enabled). Without faults no TransientError is ever raised and the wrapper
+adds zero simulation events — no-fault runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Type
+
+from ..objectstore.errors import TransientError
+from ..sim.engine import SimGen, Simulator
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Retry a coroutine factory on selected exceptions, backing off
+    ``base, 2*base, 4*base, ...`` capped at ``cap``, at most ``limit``
+    retries (so ``limit + 1`` attempts total) — then re-raise."""
+
+    __slots__ = ("sim", "limit", "base", "cap",
+                 "_c_attempts", "_c_giveups", "_h_backoff")
+
+    def __init__(self, sim: Simulator, limit: int = 6, base: float = 1e-3,
+                 cap: float = 0.064):
+        self.sim = sim
+        self.limit = limit
+        self.base = base
+        self.cap = cap
+        from ..obs import Observability
+
+        m = Observability.of(sim).metrics.scope("store.retry")
+        self._c_attempts = m.counter("attempts")
+        self._c_giveups = m.counter("giveups")
+        self._h_backoff = m.histogram("backoff")
+
+    @classmethod
+    def from_params(cls, sim: Simulator, params) -> "RetryPolicy":
+        return cls(sim, limit=params.store_retry_limit,
+                   base=params.store_retry_base, cap=params.store_retry_cap)
+
+    def note_retry(self, delay: float) -> None:
+        """Count a retry performed by an external loop (e.g. the client's
+        whole-op redispatch on TransientError) in the shared metrics."""
+        self._c_attempts.inc()
+        self._h_backoff.observe(delay)
+
+    def call(self, factory: Callable[[], SimGen],
+             retry_on: Tuple[Type[BaseException], ...] = (TransientError,)
+             ) -> SimGen:
+        """Run ``factory()`` (a fresh coroutine per attempt) to completion.
+
+        The factory must be idempotent: ArkFS store ops qualify (PUTs carry
+        full state, deletes tolerate absence, decision creates are
+        exclusive), which is what makes blind retry safe."""
+        delay = self.base
+        for attempt in range(self.limit + 1):
+            try:
+                return (yield from factory())
+            except retry_on:
+                if attempt >= self.limit:
+                    self._c_giveups.inc()
+                    raise
+                self._c_attempts.inc()
+                self._h_backoff.observe(delay)
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2.0, self.cap)
+        raise AssertionError("unreachable")

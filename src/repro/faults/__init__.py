@@ -1,0 +1,11 @@
+"""Deterministic fault injection + crash-consistency checking.
+
+See DESIGN.md §"Fault model & crash-consistency methodology". Quick start::
+
+    PYTHONPATH=src python -m repro.faults.crashcheck --workload rename --stride 7
+"""
+
+from .plan import FaultPlan, InjectedCrash, MessageRule
+from .store import FaultyObjectStore
+
+__all__ = ["FaultPlan", "InjectedCrash", "MessageRule", "FaultyObjectStore"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["ObjectStoreError", "NoSuchKey", "StoreUnavailable"]
+__all__ = ["ObjectStoreError", "NoSuchKey", "StoreUnavailable", "TransientError"]
 
 
 class ObjectStoreError(Exception):
@@ -19,3 +19,12 @@ class NoSuchKey(ObjectStoreError):
 
 class StoreUnavailable(ObjectStoreError):
     """The backing store (or the responsible OSD) is down."""
+
+
+class TransientError(ObjectStoreError):
+    """A retryable failure (HTTP 503 SlowDown / RADOS EAGAIN).
+
+    The operation did NOT apply; the client is expected to retry it with
+    bounded exponential backoff. Raised by fault injection
+    (:mod:`repro.faults`) and, in principle, by any timing-aware backend
+    modelling overload."""

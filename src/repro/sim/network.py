@@ -16,7 +16,8 @@ from typing import Any, Callable, Dict, Optional
 from .engine import SimGen, Simulator
 from .resources import BandwidthPipe, Resource
 
-__all__ = ["NetParams", "Node", "Network", "RpcError", "NodeDown"]
+__all__ = ["NetParams", "Node", "Network", "RpcError", "NodeDown",
+           "MessageDropped"]
 
 
 class RpcError(Exception):
@@ -25,6 +26,14 @@ class RpcError(Exception):
 
 class NodeDown(RpcError):
     """The destination node is not alive."""
+
+
+class MessageDropped(NodeDown):
+    """A message was lost in transit (fault injection).
+
+    Subclasses :class:`NodeDown` because the sender cannot distinguish a
+    lost message from a dead peer — it burns its RPC timeout and takes the
+    same retry path either way."""
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,9 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Optional repro.faults.FaultPlan consulted per message; None (the
+        # default) costs nothing — same contract as the span tracer.
+        self.faults = None
 
     def attach(self, node: Node) -> None:
         if node.name in self.nodes:
@@ -165,6 +177,17 @@ class Network:
         both ends plus propagation latency."""
         self.messages_sent += 1
         self.bytes_sent += size
+        if self.faults is not None:
+            act = self.faults.on_message(src.name, dst.name, size)
+            if act is not None:
+                action, delay = act
+                if action == "drop":
+                    # The sender can't see the loss directly; it burns its
+                    # RPC timeout before concluding the peer is unreachable.
+                    yield self.sim.timeout(self.params.rpc_timeout_s)
+                    raise MessageDropped(
+                        f"message {src.name}->{dst.name} dropped ({size}B)")
+                yield self.sim.timeout(delay)
         yield from src.nic.transfer(size)
         tr = self.sim._tracer
         if tr is not None:

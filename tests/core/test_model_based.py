@@ -1,12 +1,26 @@
-"""Model-based property test: ArkFS vs a trivial in-memory reference FS.
+"""Model-based property suite: ArkFS vs a trivial in-memory reference FS.
 
-Hypothesis generates random operation sequences (two clients, shared
-namespace); every operation is applied both to the full ArkFS stack and to
-a dict-based oracle, and results/errors must agree. This is the strongest
-semantic check in the suite: it exercises leases, forwarding, journaling
-and caching together.
+Random operation sequences (two clients, shared namespace) are applied
+both to the full ArkFS stack and to a dict-based oracle, and
+results/errors must agree. This is the strongest semantic check in the
+suite: it exercises leases, forwarding, journaling and caching together.
+
+Two generators feed the same checker:
+
+* Hypothesis (``test_arkfs_agrees_with_oracle``) — shrinking finds the
+  minimal counterexample; Hypothesis prints its own reproduction recipe
+  (``@reproduce_failure`` / the falsifying example) on failure.
+* A seeded ``random.Random`` stream (``test_seeded_random_sequences``)
+  — longer sequences than Hypothesis can afford, parametrized over fixed
+  seeds and overridable with ``REPRO_SEED=<int>``. Any failure message
+  carries the seed, so a CI failure is replayable verbatim with
+  ``REPRO_SEED=<seed> pytest tests/core/test_model_based.py -k seeded``.
 """
 
+import os
+import random
+
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import build_arkfs, fsck
@@ -49,6 +63,15 @@ class Oracle:
            any(f.startswith(path + "/") for f in self.files):
             return "ENOTEMPTY"
         self.dirs.discard(path)
+        return "ok"
+
+    def create(self, path):
+        """O_CREAT|O_EXCL: fails if anything is already at the path."""
+        if path in self.dirs or path in self.files:
+            return "EEXIST"
+        if not self.parent_ok(path):
+            return "ENOENT"
+        self.files[path] = b""
         return "ok"
 
     def write(self, path, data):
@@ -120,6 +143,8 @@ class Oracle:
 op_st = st.one_of(
     st.tuples(st.just("mkdir"), st.sampled_from(DIRS)),
     st.tuples(st.just("rmdir"), st.sampled_from(DIRS)),
+    st.tuples(st.just("create"),
+              st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES))),
     st.tuples(st.just("write"),
               st.tuples(st.sampled_from(PLACES), st.sampled_from(FILES),
                         st.binary(max_size=64))),
@@ -133,6 +158,30 @@ op_st = st.one_of(
                         st.sampled_from(PLACES), st.sampled_from(FILES))),
     st.tuples(st.just("client"), st.integers(0, 1)),
 )
+
+
+def random_ops(rng, n):
+    """The same op distribution as ``op_st``, drawn from a seeded PRNG."""
+    ops = []
+    for _ in range(n):
+        kind = rng.choice(["mkdir", "rmdir", "create", "write", "write",
+                           "read", "unlink", "listdir", "rename", "rename",
+                           "client"])
+        if kind in ("mkdir", "rmdir"):
+            ops.append((kind, rng.choice(DIRS)))
+        elif kind in ("create", "read", "unlink"):
+            ops.append((kind, (rng.choice(PLACES), rng.choice(FILES))))
+        elif kind == "write":
+            data = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+            ops.append((kind, (rng.choice(PLACES), rng.choice(FILES), data)))
+        elif kind == "listdir":
+            ops.append((kind, rng.choice(PLACES)))
+        elif kind == "rename":
+            ops.append((kind, (rng.choice(PLACES), rng.choice(FILES),
+                               rng.choice(PLACES), rng.choice(FILES))))
+        else:
+            ops.append((kind, rng.randrange(2)))
+    return ops
 
 
 def path_join(d, f):
@@ -150,11 +199,16 @@ def fs_result(fn, *args):
         return (errmod.errorcode[e.errno], None)
 
 
-@settings(max_examples=25, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow,
-                                 HealthCheck.data_too_large])
-@given(ops=st.lists(op_st, max_size=40))
-def test_arkfs_agrees_with_oracle(ops):
+def fs_create(fs, path):
+    """O_CREAT|O_EXCL create-and-close through the SyncFS view."""
+    fs.open(path, OpenFlags.O_CREAT | OpenFlags.O_EXCL
+            | OpenFlags.O_WRONLY).close()
+
+
+def run_sequence(ops):
+    """Apply ``ops`` to a fresh 2-client cluster and the oracle in
+    lockstep, asserting agreement per-op, on the final namespace from
+    both clients, and from fsck."""
     sim = Simulator()
     cluster = build_arkfs(sim, n_clients=2, functional=True)
     views = [SyncFS(cluster.client(0), ROOT_CREDS),
@@ -174,6 +228,12 @@ def test_arkfs_agrees_with_oracle(ops):
             expect = oracle.rmdir(arg)
             code, _ = fs_result(fs.rmdir, arg)
             assert code == ("ok" if expect == "ok" else expect), (op, arg)
+        elif op == "create":
+            d, f = arg
+            path = path_join(d, f)
+            expect = oracle.create(path)
+            code, _ = fs_result(fs_create, fs, path)
+            assert code == ("ok" if expect == "ok" else expect), (op, path)
         elif op == "write":
             d, f, data = arg
             path = path_join(d, f)
@@ -226,3 +286,34 @@ def test_arkfs_agrees_with_oracle(ops):
     sim.run(until=sim.now + 3)
     report = sim.run_process(fsck(cluster.prt))
     assert report.clean, report.summary()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(ops=st.lists(op_st, max_size=40))
+def test_arkfs_agrees_with_oracle(ops):
+    run_sequence(ops)
+
+
+DEFAULT_SEEDS = [1, 7, 42, 1337, 271828]
+
+
+def _seeds():
+    env = os.environ.get("REPRO_SEED")
+    return [int(env)] if env else DEFAULT_SEEDS
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_seeded_random_sequences(seed):
+    """Longer random sequences than Hypothesis can afford, from a fixed
+    seed. On failure the seed is in the parametrize id AND the message:
+    replay with ``REPRO_SEED=<seed> pytest -k seeded_random``."""
+    print(f"model-based sequence seed: REPRO_SEED={seed}")
+    ops = random_ops(random.Random(seed), 120)
+    try:
+        run_sequence(ops)
+    except AssertionError as e:
+        e.add_note(f"replay with REPRO_SEED={seed} "
+                   f"pytest tests/core/test_model_based.py -k seeded_random")
+        raise

@@ -1,0 +1,131 @@
+"""Unit tests for the FaultPlan schedule logic (no cluster involved)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, MessageRule
+from repro.objectstore.errors import TransientError
+
+
+def node(name="client0", alive=True):
+    return SimpleNamespace(name=name, alive=alive)
+
+
+def test_op_counting_and_disarm():
+    plan = FaultPlan()
+    src = node()
+    plan.before_op("put", "iabc", src)
+    plan.before_op("get", "iabc", src)
+    assert plan.ops_seen == 2
+    plan.disarm()
+    plan.before_op("put", "iabc", src)
+    assert plan.ops_seen == 2, "disarmed plan must not count or inject"
+
+
+def test_crash_fires_at_exact_victim_op():
+    fired = []
+    plan = FaultPlan().crash_at("client0", 3, handler=lambda: fired.append(1))
+    victim, other = node("client0"), node("client1")
+    plan.before_op("put", "k", victim)
+    plan.before_op("put", "k", other)   # other nodes don't advance the count
+    plan.before_op("put", "k", victim)
+    assert not plan.crashed
+    with pytest.raises(InjectedCrash):
+        plan.before_op("put", "k", victim)
+    assert plan.crashed and fired == [1]
+    assert plan.victim_ops == 3
+
+
+def test_dead_node_store_ops_rejected():
+    """In-flight coroutines of a crashed client die at their next store op
+    instead of mutating state post-mortem."""
+    plan = FaultPlan()
+    with pytest.raises(InjectedCrash):
+        plan.before_op("put", "k", node(alive=False))
+
+
+def test_transient_window_and_every():
+    plan = FaultPlan().fail_ops(1, 3)   # global op indices 1 and 2
+    src = node()
+    plan.before_op("put", "a", src)               # idx 0: fine
+    for _ in range(2):
+        with pytest.raises(TransientError):
+            plan.before_op("put", "a", src)       # idx 1, 2: fail
+    plan.before_op("put", "a", src)               # idx 3: fine
+
+    plan = FaultPlan()
+    plan.transient_every = 3
+    seen = []
+    for i in range(9):
+        try:
+            plan.before_op("get", "k", src)
+            seen.append("ok")
+        except TransientError:
+            seen.append("fail")
+    # idx 0 is exempt (i % n == 0 but i == 0), then every 3rd fails.
+    assert seen == ["ok", "ok", "ok", "fail", "ok", "ok", "fail", "ok", "ok"]
+
+
+def test_flaky_key_budget_decrements():
+    plan = FaultPlan().flaky_key("e42/", 2)
+    src = node()
+    for _ in range(2):
+        with pytest.raises(TransientError):
+            plan.before_op("put", "e42/name", src)
+    plan.before_op("put", "e42/name", src)      # budget exhausted
+    plan.before_op("put", "e9/other", src)      # never matched
+
+
+def test_batch_put_partial_application():
+    plan = FaultPlan().fail_batch_put(2, apply_items=3)
+    assert plan.before_batch_put(10, node()) is None        # batch 1 clean
+    assert plan.before_batch_put(10, node()) == 3           # batch 2 partial
+    assert plan.before_batch_put(10, node()) is None        # batch 3 clean
+    # apply_items is clamped to the batch size.
+    plan2 = FaultPlan().fail_batch_put(1, apply_items=99)
+    assert plan2.before_batch_put(4, node()) == 4
+
+
+def test_message_rule_window_and_patterns():
+    rule = MessageRule(src="client*", dst="lease-mgr", start=1, count=2,
+                       action="drop")
+    assert rule.matches("osd0", "lease-mgr") is None        # src mismatch
+    assert rule.matches("client0", "lease-mgr") is None     # occurrence 0
+    assert rule.matches("client1", "lease-mgr") == ("drop", 0.0)
+    assert rule.matches("client0", "lease-mgr") == ("drop", 0.0)
+    assert rule.matches("client0", "lease-mgr") is None     # window passed
+
+
+def test_on_message_respects_arming():
+    plan = FaultPlan().drop_messages(src="a", dst="b", count=None)
+    assert plan.on_message("a", "b", 100) == ("drop", 0.0)
+    plan.disarm()
+    assert plan.on_message("a", "b", 100) is None
+
+
+def test_delay_rule():
+    plan = FaultPlan().delay_messages(0.25, src="*", dst="osd*", count=1)
+    assert plan.on_message("client0", "osd3", 10) == ("delay", 0.25)
+    assert plan.on_message("client0", "osd3", 10) is None
+
+
+def test_decision_record_audit():
+    plan = FaultPlan()
+    plan.note_put("tTX1", b"commit", created=True)
+    plan.note_put("tTX1", b"commit", created=True)     # same value: fine
+    assert plan.violations == []
+    plan.note_put("tTX1", b"abort", created=True)      # flip: violation
+    assert len(plan.violations) == 1
+    # Lost put_if_absent races never mutate, so they are ignored.
+    plan.note_put("tTX2", b"abort", created=False)
+    assert len(plan.violations) == 1
+    # Re-creating a retired decision is a violation too.
+    plan.note_put("tTX3", b"commit", created=True)
+    plan.note_delete("tTX3")
+    plan.note_put("tTX3", b"commit", created=True)
+    assert len(plan.violations) == 2
+    # Non-decision keys are out of scope.
+    plan.note_put("iabc", b"x", created=True)
+    plan.note_delete("iabc")
+    assert len(plan.violations) == 2
