@@ -497,9 +497,11 @@ def build_cephfs(
     cluster = CephFSCluster(sim=sim, net=net, store=store, mds=mds)
     registry: Dict[str, CephLikeClient] = {}
 
-    def revoke_cb(holder: str, ino: int) -> SimGen:
+    def revoke_cb(holder: str, ino: int, deleted: bool = False) -> SimGen:
         client = registry[holder]
-        # Cap revocation: an MDS-to-client message plus the flush.
+        # Cap revocation: an MDS-to-client message plus the flush. The
+        # deleted flag is an ArkFS pack-layer concern; the baseline's
+        # cache has no packed extents to retire.
         yield from net.send(mds.mds[0].node, client.node, 128)
         yield from client.cache.invalidate(ino, flush_dirty=True)
 

@@ -7,6 +7,8 @@
 * :mod:`metatable` — per-directory metadata tables and remote pointers.
 * :mod:`journal` — per-directory compound-transaction journaling + 2PC.
 * :mod:`cache` — the write-back data object cache with adaptive read-ahead.
+* :mod:`pack` — packed small-file containers (log-structured packing,
+  extent index, background compaction).
 * :mod:`filelease` — read/write leases on file data (leader-issued).
 * :mod:`client` / :mod:`ops` — the ArkFS client and its leader-side ops.
 * :mod:`recovery` — journal replay after client / manager failures.
@@ -22,19 +24,23 @@ from .journal import (
     JournalManager,
     Transaction,
     apply_ops,
+    ops_clear_extents,
     ops_del_dentry,
+    ops_del_extents,
     ops_del_inode,
     ops_put_dentry,
     ops_put_inode,
+    ops_set_extents,
 )
 from .lease import LeaseGrant, LeaseManager, LeaseRedirect, LeaseWait
 from .metatable import Metatable, RemoteTable, load_metatable
 from .ops import RedirectError
+from .pack import PackWriter
 from .params import DEFAULT_PARAMS, ArkFSParams
 from .prt import PRT
 from .radix import RadixTree
 from .recovery import recover_directory, resolve_decision, scan_journal
-from .types import Dentry, Inode, InoAllocator, ROOT_INO, ino_hex
+from .types import Dentry, Inode, InoAllocator, PackExtent, ROOT_INO, ino_hex
 
 __all__ = [
     "ArkFSClient",
@@ -57,6 +63,8 @@ __all__ = [
     "Metatable",
     "OpenState",
     "PRT",
+    "PackExtent",
+    "PackWriter",
     "READ",
     "ROOT_INO",
     "RadixTree",
@@ -71,10 +79,13 @@ __all__ = [
     "ino_hex",
     "load_metatable",
     "mkfs",
+    "ops_clear_extents",
     "ops_del_dentry",
+    "ops_del_extents",
     "ops_del_inode",
     "ops_put_dentry",
     "ops_put_inode",
+    "ops_set_extents",
     "recover_directory",
     "resolve_decision",
     "scan_journal",

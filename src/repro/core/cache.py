@@ -31,13 +31,15 @@ __all__ = ["CacheEntry", "ReadAheadState", "DataObjectCache"]
 class CacheEntry:
     """One cached data object (at most ``entry_size`` bytes)."""
 
-    __slots__ = ("index", "data", "dirty", "loading")
+    __slots__ = ("index", "data", "dirty", "loading", "backed")
 
     def __init__(self, index: int):
         self.index = index
         self.data = bytearray()
         self.dirty = False
         self.loading: Optional[Event] = None  # set while a fetch is in flight
+        self.backed = False  # a plain ``d`` object exists for this chunk
+                             # (the pack layer must purge it after a seal)
 
     @property
     def ready(self) -> bool:
@@ -82,13 +84,18 @@ class DataObjectCache:
     def __init__(self, sim: Simulator, prt: PRT, node: Optional[Node],
                  entry_size: int, capacity_bytes: int, max_readahead: int,
                  copy_bw: float = 8e9, writeback_parallel: int = 8,
-                 fetch_parallel: int = 16, retry: Optional[RetryPolicy] = None):
+                 fetch_parallel: int = 16, retry: Optional[RetryPolicy] = None,
+                 pack=None):
         if entry_size != prt.data_object_size:
             raise ValueError("cache entry size must equal the PRT object size")
         self.sim = sim
         self.prt = prt
         self.node = node
         self._retry = retry or RetryPolicy(sim)
+        # Optional PackWriter: sub-threshold writebacks append to a shared
+        # container instead of issuing their own PUT. None keeps every code
+        # path structurally identical to a build without the pack subsystem.
+        self._pack = pack
         self.entry_size = entry_size
         self.capacity = max(1, capacity_bytes // entry_size)
         self.max_readahead = max_readahead
@@ -222,6 +229,17 @@ class DataObjectCache:
         # the entry rather than getting silently marked clean.
         entry.dirty = False
         snapshot = bytes(entry.data)
+        if self._pack is not None and self._pack.wants(len(snapshot)):
+            # Sub-threshold chunk: append into the open container buffer
+            # (a memcpy) instead of an individual PUT; durability comes
+            # from the seal, which flush/fsync paths force.
+            full = self._pack.append(ino, entry.index, snapshot,
+                                     had_plain=entry.backed)
+            entry.backed = False
+            yield from self._copy_cost(len(snapshot))
+            if full:
+                yield from self._pack.seal()
+            return
         self._g_inflight_puts.add(1)
         sp = _span(self.sim, "cache.writeback", "cache")
         try:
@@ -234,6 +252,10 @@ class DataObjectCache:
         finally:
             sp.close()
             self._g_inflight_puts.add(-1)
+        entry.backed = True
+        if self._pack is not None:
+            # The chunk outgrew the threshold: any packed copy is stale now.
+            self._pack.note_plain_write(ino, entry.index)
         self._c_flushes.inc()
 
     def _writeback_batch(self, pairs) -> SimGen:
@@ -282,8 +304,16 @@ class DataObjectCache:
         self._g_inflight_gets.add(1)
         sp = _span(self.sim, "cache.fetch", "cache")
         try:
-            data = yield from self._retry.call(
-                lambda: self.prt.read_object(ino, index, src=self.node))
+            backed = False
+            data = None
+            if self._pack is not None:
+                # Packed chunks resolve through the extent index (open
+                # buffer, in-flight seal, or a ranged GET on a container).
+                data = yield from self._pack.fetch_chunk(ino, index)
+            if data is None:
+                data = yield from self._retry.call(
+                    lambda: self.prt.read_object(ino, index, src=self.node))
+                backed = len(data) > 0
         except Exception as exc:
             fc.tree.delete(index)
             self._lru.pop((ino, index), None)
@@ -293,6 +323,7 @@ class DataObjectCache:
             sp.close()
             self._g_inflight_gets.add(-1)
         entry.data = bytearray(data)
+        entry.backed = backed
         ev, entry.loading = entry.loading, None
         ev.succeed(entry)
         return entry
@@ -486,19 +517,28 @@ class DataObjectCache:
         serializing file by file."""
         pairs = yield from self._collect_dirty(inos)
         yield from self._writeback_many(pairs)
+        if self._pack is not None:
+            # fsync contract: chunks the writebacks appended to the open
+            # container must be durable before flush returns.
+            yield from self._pack.flush_inos(inos)
 
     def flush_all(self) -> SimGen:
         yield from self.flush_many(list(self._files))
 
-    def invalidate(self, ino: int, flush_dirty: bool = True) -> SimGen:
+    def invalidate(self, ino: int, flush_dirty: bool = True,
+                   deleted: bool = False) -> SimGen:
         """Drop a file's entries (read/write lease revocation path).
 
         Dirty entries go through the same batched writeback the eviction
         path uses — a lease revocation of a heavily written file must not
-        serialize one PUT per entry."""
-        yield from self.invalidate_many([ino], flush_dirty=flush_dirty)
+        serialize one PUT per entry. ``deleted`` marks a revocation that
+        precedes an unlink purge: the pack layer then retires the file's
+        extents instead of publishing them."""
+        yield from self.invalidate_many([ino], flush_dirty=flush_dirty,
+                                        deleted=deleted)
 
-    def invalidate_many(self, inos, flush_dirty: bool = True) -> SimGen:
+    def invalidate_many(self, inos, flush_dirty: bool = True,
+                        deleted: bool = False) -> SimGen:
         """Batched invalidation across files (flush dirty, then drop)."""
         pairs = yield from self._collect_dirty(inos)
         if flush_dirty:
@@ -514,6 +554,15 @@ class DataObjectCache:
                     # Re-dirtied (or fetched-then-written) while we flushed.
                     yield from self._writeback(ino, entry)
                 self._lru.pop((ino, idx), None)
+        if self._pack is not None:
+            if deleted:
+                self._pack.kill_inos(inos)
+            elif flush_dirty:
+                # Revocation hand-off: seal and push the extent-index
+                # deltas out so the next lease holder reads our bytes.
+                yield from self._pack.publish(inos)
+            else:
+                self._pack.drop_inos(inos)
 
     def drop_all(self) -> SimGen:
         """Flush and drop everything (e.g. fio's cache drop between phases);

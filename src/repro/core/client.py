@@ -49,6 +49,7 @@ from .journal import JournalManager
 from .lease import LeaseGrant, LeaseRedirect, LeaseWait
 from .metatable import Metatable, RemoteTable, load_metatable
 from .ops import LeaderOps, RedirectError
+from .pack import PackWriter
 from .params import ArkFSParams
 from .prt import PRT
 from .recovery import DECISION_ABORT, DECISION_COMMIT, recover_directory
@@ -100,6 +101,13 @@ class ArkFSClient(LeaderOps, VFSClient):
 
         self._retry = RetryPolicy.from_params(sim, params)
         self.journal = JournalManager(sim, prt, params, node, self.name)
+        # Packed small-file containers (off by default: self.pack stays
+        # None and every data path is structurally unchanged).
+        self.pack: Optional[PackWriter] = None
+        if params.pack_enabled:
+            self.pack = PackWriter(sim, prt, self.journal, node, params,
+                                   self.name, self._leads_dir,
+                                   retry=self._retry)
         self.cache = DataObjectCache(
             sim, prt, node,
             entry_size=params.data_object_size,
@@ -109,6 +117,7 @@ class ArkFSClient(LeaderOps, VFSClient):
             fetch_parallel=params.fetch_parallel,
             writeback_parallel=params.writeback_parallel,
             retry=self._retry,
+            pack=self.pack,
         )
         self.fleases = FileLeaseService(sim, params.file_lease_period,
                                         self._revoke_holder)
@@ -124,6 +133,12 @@ class ArkFSClient(LeaderOps, VFSClient):
         self.journal.start_threads()
         self._keeper = sim.process(self._lease_keeper(),
                                    name=f"{self.name}.keeper")
+
+    def _leads_dir(self, dir_ino: int) -> bool:
+        """Do we currently hold this directory's metatable lease? (Extent
+        deltas ride its journal when true; direct index RMW otherwise.)"""
+        mt = self.metatables.get(dir_ino)
+        return mt is not None and mt.lease_expires > self.sim.now
 
     # ------------------------------------------------------------------ costs
 
@@ -149,9 +164,11 @@ class ArkFSClient(LeaderOps, VFSClient):
         handler = getattr(self, "_op_" + opname)
         return (yield from handler(**kwargs))
 
-    def _h_cache_invalidate(self, ino: int) -> SimGen:
-        """A leader revokes our cached data for a file (flush + drop)."""
-        yield from self.cache.invalidate(ino, flush_dirty=True)
+    def _h_cache_invalidate(self, ino: int, deleted: bool = False) -> SimGen:
+        """A leader revokes our cached data for a file (flush + drop).
+        ``deleted`` means the file is being unlinked, not handed off."""
+        yield from self.cache.invalidate(ino, flush_dirty=True,
+                                         deleted=deleted)
         return True
 
     def _peer_call(self, leader: str, opname: str, **kwargs: Any) -> SimGen:
@@ -495,7 +512,8 @@ class ArkFSClient(LeaderOps, VFSClient):
         ino = yield from self._authority_op(parent, "unlink", creds, name=name)
         self.pcache_dentries.pop((parent, name), None)
         if isinstance(ino, int):
-            yield from self.cache.invalidate(ino, flush_dirty=False)
+            yield from self.cache.invalidate(ino, flush_dirty=False,
+                                             deleted=True)
 
     def rename(self, creds: Credentials, src: str, dst: str) -> SimGen:
         src_n, dst_n = pathmod.normalize(src), pathmod.normalize(dst)
@@ -623,6 +641,8 @@ class ArkFSClient(LeaderOps, VFSClient):
                     cur_path = base.rstrip("/") + "/" + target
                 continue
             inode = Inode.from_dict(info["inode"])
+            if self.pack is not None and inode.ftype is FileType.REGULAR:
+                self.pack.note_file_dir(inode.ino, parent)
             handle = FileHandle(inode.ino, flags, creds)
             handle.impl = OpenState(
                 parent_ino=parent, name=name, size=inode.size,
@@ -907,15 +927,18 @@ class ArkFSClient(LeaderOps, VFSClient):
         finally:
             sp.close()
 
-    def _revoke_holder(self, holder: str, ino: int) -> SimGen:
+    def _revoke_holder(self, holder: str, ino: int,
+                       deleted: bool = False) -> SimGen:
         """FileLeaseService callback: make one holder flush + drop a file."""
         if holder == self.name:
-            yield from self.cache.invalidate(ino, flush_dirty=True)
+            yield from self.cache.invalidate(ino, flush_dirty=True,
+                                             deleted=deleted)
             return
         target = self.node.net.nodes.get(holder)
         if target is None:
             raise NodeDown(holder)
-        yield from self.node.call(target, "arkfs.cache_invalidate", ino)
+        yield from self.node.call(target, "arkfs.cache_invalidate", ino,
+                                  deleted)
 
     # ------------------------------------------------------------ failure injection
 
@@ -925,6 +948,8 @@ class ArkFSClient(LeaderOps, VFSClient):
         self.node.crash()
         self.journal.stop()
         self.cache.discard_all()
+        if self.pack is not None:
+            self.pack.discard()
         self.metatables.clear()
         self.remotes.clear()
         self.pcache.clear()
@@ -946,5 +971,7 @@ class ArkFSClient(LeaderOps, VFSClient):
         self.journal = JournalManager(self.sim, self.prt, self.params,
                                       self.node, self.name)
         self.journal.start_threads()
+        if self.pack is not None:
+            self.pack.restart(self.journal)
         self._keeper = self.sim.process(self._lease_keeper(),
                                         name=f"{self.name}.keeper")

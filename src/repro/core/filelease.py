@@ -46,9 +46,12 @@ class _FileState:
 class FileLeaseService:
     """Leader-side lease table for the files in directories this client leads.
 
-    ``revoke_cb(holder_name, ino)`` is provided by the owning client: it
-    flushes + invalidates the holder's cache for ``ino`` (locally for the
-    leader itself, by RPC for remote holders).
+    ``revoke_cb(holder_name, ino, deleted)`` is provided by the owning
+    client: it flushes + invalidates the holder's cache for ``ino``
+    (locally for the leader itself, by RPC for remote holders).
+    ``deleted`` tells the holder the file is being unlinked rather than
+    handed off, so its pack layer retires the extents instead of
+    publishing them.
     """
 
     def __init__(self, sim: Simulator, lease_period: float,
@@ -87,13 +90,14 @@ class FileLeaseService:
             st.direct = False
             st.version += 1
 
-    def _revoke_all(self, st: _FileState, ino: int, but: str) -> SimGen:
+    def _revoke_all(self, st: _FileState, ino: int, but: str,
+                    deleted: bool = False) -> SimGen:
         for holder in list(st.holders):
             if holder == but:
                 continue
             self.stats["revocations"] += 1
             try:
-                yield from self.revoke_cb(holder, ino)
+                yield from self.revoke_cb(holder, ino, deleted)
             except NodeDown:
                 # Dead holder: its lease will lapse; fencing at the
                 # directory-lease level guarantees it cannot resurface

@@ -24,6 +24,7 @@ from .client import ArkFSClient
 from .lease import LeaseManager, LeaseManagerCluster
 from .params import ArkFSParams, DEFAULT_PARAMS
 from .prt import PRT
+from .retry import RetryPolicy
 from .types import Inode, InoAllocator, ROOT_INO
 
 __all__ = ["ArkFSCluster", "build_arkfs", "mkfs"]
@@ -98,7 +99,9 @@ def build_arkfs(
         store = FaultyObjectStore(store, faults)
         net.faults = faults
         faults.attach(sim)
-    prt = PRT(store, params.data_object_size)
+    prt = PRT(store, params.data_object_size,
+              retry=RetryPolicy.from_params(sim, params),
+              pack_enabled=params.pack_enabled)
     mkfs(sim, store)
 
     if n_lease_managers <= 1:

@@ -34,6 +34,7 @@ from ..posix.types import Credentials, FileType, OpenFlags, R_OK, W_OK, X_OK
 from ..sim.engine import SimGen
 from .filelease import FileLeaseGrant
 from .journal import (
+    ops_clear_extents,
     ops_del_dentry,
     ops_del_inode,
     ops_put_dentry,
@@ -63,7 +64,7 @@ class LeaderOps:
 
     # The client provides: sim, node, prt, params, metatables, journal,
     # fleases, alloc, _ensure_leader(), _charge_md_op(), _pending_names,
-    # cache, name.
+    # cache, pack, name.
 
     # -- shared helpers ---------------------------------------------------------
 
@@ -208,16 +209,32 @@ class LeaderOps:
     def _truncate_file_data(self, ino: int, old_size: int,
                             new_size: int) -> SimGen:
         """Drop a file's data past new EOF: revoke holder caches, then
-        delete the backing objects."""
+        delete the backing objects (and trim the extent index)."""
         yield from self._revoke_all_holders(ino)
+        if self.prt.pack_enabled:
+            killed = yield from self.prt.truncate_extents(ino, new_size,
+                                                          src=self.node)
+            if self.pack is not None:
+                for idx, ext, keep in killed:
+                    self.pack.note_dead_extent(ino, idx, ext, keep=keep)
         yield from self.prt.truncate_data(ino, old_size, new_size,
                                           src=self.node)
 
-    def _revoke_all_holders(self, ino: int) -> SimGen:
+    def _purge_file_data(self, ino: int) -> SimGen:
+        """Delete a dead file's backing objects. When packing is on, the
+        stored extent index is read first so the pack layer's live-byte
+        accounting learns which container bytes just died (that is what
+        drives container reclaim and compaction)."""
+        if self.pack is not None:
+            exts = yield from self.prt.read_extent_index(ino, src=self.node)
+            self.pack.note_dead_extents(ino, exts)
+        yield from self.prt.delete_data(ino, src=self.node)
+
+    def _revoke_all_holders(self, ino: int, deleted: bool = False) -> SimGen:
         st = self.fleases.files.get(ino)
         if st is None:
             return
-        yield from self.fleases._revoke_all(st, ino, but="")
+        yield from self.fleases._revoke_all(st, ino, but="", deleted=deleted)
         st.version += 1
 
     # -- unlink -----------------------------------------------------------------------------
@@ -234,21 +251,25 @@ class LeaderOps:
         inode = mt.child_inode(dentry.ino)
         mt.remove(name)
         self._touch_dir(mt)
-        self.journal.record(
-            dir_ino,
+        ops = [
             ops_del_dentry(dir_ino, name),
             ops_del_inode(dentry.ino),
             ops_put_inode(mt.dir_inode),
-        )
-        yield from self._charge_journal(3, dir_ino)
+        ]
+        if self.prt.pack_enabled and dentry.ftype is FileType.REGULAR:
+            # Without this a committed-but-uncheckpointed extent set in the
+            # same journal would recreate the index after the purge below.
+            ops.append(ops_clear_extents(dentry.ino))
+        self.journal.record(dir_ino, *ops)
+        yield from self._charge_journal(len(ops), dir_ino)
         if inode.ftype is FileType.REGULAR and inode.size > 0:
-            yield from self._revoke_all_holders(dentry.ino)
+            yield from self._revoke_all_holders(dentry.ino, deleted=True)
             # Data objects are purged asynchronously (UUID inode numbers mean
             # a re-created name can never collide with the dying objects).
             ino_ = dentry.ino
             self.sim.process(
                 self._retry.call(
-                    lambda: self.prt.delete_data(ino_, src=self.node)),
+                    lambda: self._purge_file_data(ino_)),
                 name=f"purge:{ino_:x}")
         self.fleases.forget_file(dentry.ino)
         return dentry.ino
@@ -560,11 +581,15 @@ class LeaderOps:
         """Unlink the entry being replaced by a rename."""
         inode = mt.inodes.get(dentry.ino)
         mt.remove(dentry.name)
-        self.journal.record(mt.dir_ino, ops_del_inode(dentry.ino))
+        ops = [ops_del_inode(dentry.ino)]
+        if (self.prt.pack_enabled and inode is not None
+                and inode.ftype is FileType.REGULAR):
+            ops.append(ops_clear_extents(dentry.ino))
+        self.journal.record(mt.dir_ino, *ops)
         if inode is not None and inode.ftype is FileType.REGULAR and inode.size:
-            yield from self._revoke_all_holders(dentry.ino)
+            yield from self._revoke_all_holders(dentry.ino, deleted=True)
             yield from self._retry.call(
-                lambda: self.prt.delete_data(dentry.ino, src=self.node))
+                lambda: self._purge_file_data(dentry.ino))
         else:
             yield self.sim.timeout(0)
         self.fleases.forget_file(dentry.ino)

@@ -48,6 +48,20 @@ class ArkFSParams:
     # --- permission caching mode (Section III-C) ----------------------------
     permission_cache: bool = True          # ArkFS-pcache vs ArkFS-no-pcache
 
+    # --- packed small-file containers (archiving / Table 2) -----------------
+    pack_enabled: bool = False             # off by default: runs stay
+                                           # structurally identical to a build
+                                           # without the pack subsystem
+    pack_threshold: int = 256 * KiB        # chunks smaller than this are
+                                           # appended to a container object
+                                           # instead of PUT individually
+    pack_target_size: int = 8 * MiB        # seal the open container once it
+                                           # reaches this many bytes
+    pack_seal_age: float = 1.0             # ... or once its oldest byte is
+                                           # this old (seconds)
+    pack_compact_live_ratio: float = 0.5   # rewrite a sealed container when
+                                           # live/total drops below this
+
     # --- transient-failure handling (client-side store SDK behavior) --------
     store_retry_limit: int = 6             # retries per op before giving up
     store_retry_base: float = 1e-3         # first backoff; doubles per retry

@@ -8,23 +8,31 @@ block-granularity POSIX I/O into whole/ranged object REST operations:
 * ``j<uuid>/<seq>``      — one committed journal transaction of the directory
 * ``d<uuid>/<index>``    — one data object of a file (fixed-size chunks)
 * ``t<txid>``            — a two-phase-commit decision record
+* ``p<pack-id>``         — a sealed small-file container (packed chunks)
+* ``x<uuid>``            — a file's extent index: chunk → container extent
 
 File data is split into ``data_object_size`` chunks ("The PRT module divides
 the file data into multiple objects if the file size exceeds the maximum
 object size defined by the object storage"). Missing chunks read as zeros
-(sparse files).
+(sparse files). With packing enabled, a chunk may instead live as a
+``(pack, offset, length)`` extent inside a container object; the extent
+index *wins* over a plain ``d`` object for the same chunk (the seal
+protocol deletes the stale plain object only after the index commit).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import json
+from typing import Dict, List, Optional, Tuple
 
 from ..objectstore.base import ObjectStore
 from ..objectstore.errors import NoSuchKey
+from ..obs import Observability
 from ..obs.trace import span as _span
 from ..sim.engine import SimGen
 from ..sim.network import Node
-from .types import Dentry, Inode, ino_hex
+from .retry import RetryPolicy
+from .types import Dentry, Inode, PackExtent, ino_hex
 
 __all__ = ["PRT"]
 
@@ -32,12 +40,30 @@ __all__ = ["PRT"]
 class PRT:
     """Key schema + chunked data path over one object-storage backend."""
 
-    def __init__(self, store: ObjectStore, data_object_size: int):
+    def __init__(self, store: ObjectStore, data_object_size: int,
+                 retry: Optional[RetryPolicy] = None,
+                 pack_enabled: bool = False):
         if data_object_size <= 0:
             raise ValueError("data_object_size must be positive")
         self.store = store
         self.sim = store.sim
         self.data_object_size = data_object_size
+        self._retry = retry
+        self.pack_enabled = pack_enabled
+        # Purge fan-out observability (unlink / truncate / container reclaim
+        # all funnel through ``_purge``).
+        m = Observability.of(self.sim).metrics.scope("prt.purge")
+        self._c_batched_deletes = m.counter("batched_deletes")
+        self._c_serial_deletes = m.counter("serial_deletes")
+        self._c_purge_batches = m.counter("batches")
+        self._g_purge_batch = m.gauge("batch")
+
+    def _call(self, factory) -> SimGen:
+        """Run a store op under the client retry policy when one is wired
+        (zero extra sim events on success — no-fault runs stay identical)."""
+        if self._retry is not None:
+            return (yield from self._retry.call(factory))
+        return (yield from factory())
 
     # -- key construction ------------------------------------------------------
 
@@ -72,6 +98,14 @@ class PRT:
     @staticmethod
     def key_decision(txid: str) -> str:
         return f"t{txid}"
+
+    @staticmethod
+    def key_pack(pack_id: str) -> str:
+        return "p" + pack_id
+
+    @staticmethod
+    def key_extent_index(ino: int) -> str:
+        return "x" + ino_hex(ino)
 
     # -- inode / dentry objects ---------------------------------------------------
 
@@ -177,13 +211,21 @@ class PRT:
         if offset >= file_size:
             return b""
         length = min(length, file_size - offset)
+        extents: Dict[int, PackExtent] = {}
+        if self.pack_enabled:
+            extents = yield from self.read_extent_index(ino, src=src)
         sp = _span(self.sim, "prt.read_data", "prt")
         out = bytearray()
         try:
             for idx, off, n in self.chunk_range(offset, length):
+                ext = extents.get(idx)
                 try:
-                    piece = yield from self.store.get_range(
-                        self.key_data(ino, idx), off, n, src=src)
+                    if ext is not None:
+                        piece = yield from self.read_extent(ext, off, n,
+                                                            src=src)
+                    else:
+                        piece = yield from self.store.get_range(
+                            self.key_data(ino, idx), off, n, src=src)
                 except NoSuchKey:
                     piece = b""
                 if len(piece) < n:
@@ -196,22 +238,43 @@ class PRT:
     def write_data(self, ino: int, offset: int, data: bytes,
                    src: Optional[Node] = None) -> SimGen:
         """Translate a POSIX write into object PUTs (read-modify-write at
-        the edges when a piece only partially covers an existing object)."""
+        the edges when a piece only partially covers an existing object).
+
+        Chunks that currently live as packed extents are converted back to
+        plain objects: the extent supplies the RMW base and its index entry
+        is dropped afterwards (the extent index must never shadow a newer
+        plain object)."""
+        extents: Dict[int, PackExtent] = {}
+        if self.pack_enabled:
+            extents = yield from self.read_extent_index(ino, src=src)
         sp = _span(self.sim, "prt.write_data", "prt")
+        unpacked: List[int] = []
         try:
             pos = 0
             for idx, off, n in self.chunk_range(offset, len(data)):
                 piece = data[pos : pos + n]
                 pos += n
+                ext = extents.get(idx)
+                if ext is not None:
+                    unpacked.append(idx)
                 if off == 0 and n == self.data_object_size:
                     yield from self.write_object(ino, idx, piece, src=src)
                     continue
-                old = yield from self.read_object(ino, idx, src=src)
+                if ext is not None:
+                    try:
+                        old = yield from self.read_extent(ext, src=src)
+                    except NoSuchKey:
+                        old = b""
+                else:
+                    old = yield from self.read_object(ino, idx, src=src)
                 buf = bytearray(old)
                 if len(buf) < off:
                     buf += b"\x00" * (off - len(buf))
                 buf[off : off + n] = piece
                 yield from self.write_object(ino, idx, bytes(buf), src=src)
+            if unpacked:
+                yield from self.apply_extent_delta(ino, del_list=unpacked,
+                                                   src=src)
         finally:
             sp.close()
 
@@ -228,7 +291,7 @@ class PRT:
             dead = [self.key_data(ino, idx)
                     for idx in range(first_dead, last + 1)]
             if dead:
-                yield from self.store.delete_many(dead, src=src)
+                yield from self._purge(dead, src=src)
             if new_size % osz:
                 idx = new_size // osz
                 old = yield from self.read_object(ino, idx, src=src)
@@ -239,11 +302,132 @@ class PRT:
             sp.close()
 
     def delete_data(self, ino: int, src: Optional[Node] = None) -> SimGen:
-        """Remove every data object of a file; returns count deleted."""
+        """Remove every data object of a file; returns count deleted.
+
+        With packing enabled the file's extent index object rides in the
+        same batched purge (the container bytes it pointed at become dead
+        and are reclaimed by the compactor)."""
         sp = _span(self.sim, "prt.delete_data", "prt")
         try:
-            n = yield from self.store.delete_prefix(self.key_data_prefix(ino),
-                                                    src=src)
+            keys = list((yield from self.store.list(
+                self.key_data_prefix(ino), src=src)))
+            if self.pack_enabled:
+                keys.append(self.key_extent_index(ino))
+            n = yield from self._purge(keys, src=src)
         finally:
             sp.close()
         return n
+
+    def _purge(self, keys: List[str], src: Optional[Node] = None) -> SimGen:
+        """Batched deletion under the store retry policy.
+
+        Every purge path (unlink, truncate, dead-container reclaim) funnels
+        here so deletions ride ``delete_many`` fan-out instead of one RTT
+        per key, and show up in the ``prt.purge`` metrics."""
+        if not keys:
+            return 0
+        if len(keys) == 1:
+            self._c_serial_deletes.inc()
+        else:
+            self._c_purge_batches.inc()
+            self._c_batched_deletes.inc(len(keys))
+            self._g_purge_batch.track(len(keys))
+        n = yield from self._call(
+            lambda: self.store.delete_many(keys, src=src))
+        return n
+
+    # -- packed extents ----------------------------------------------------------
+
+    @staticmethod
+    def parse_extent_index(raw: bytes) -> Dict[int, PackExtent]:
+        d = json.loads(raw)
+        return {int(k): PackExtent(v[0], v[1], v[2]) for k, v in d.items()}
+
+    @staticmethod
+    def dump_extent_index(extents: Dict[int, PackExtent]) -> bytes:
+        return json.dumps(
+            {str(k): list(extents[k]) for k in sorted(extents)},
+            separators=(",", ":")).encode()
+
+    def read_extent_index(self, ino: int,
+                          src: Optional[Node] = None) -> SimGen:
+        """The file's chunk → container extent map; ``{}`` when absent."""
+        try:
+            raw = yield from self.store.get(self.key_extent_index(ino),
+                                            src=src)
+        except NoSuchKey:
+            return {}
+        return self.parse_extent_index(raw)
+
+    def read_extent(self, ext: PackExtent, off: int = 0,
+                    length: Optional[int] = None,
+                    src: Optional[Node] = None) -> SimGen:
+        """Ranged GET of (part of) one packed chunk from its container.
+
+        ``off`` is relative to the chunk start (extents always cover a
+        chunk prefix); the range is clamped to the extent. Raises
+        ``NoSuchKey`` if the container is gone (callers treat that as a
+        hole or retry against a fresh index)."""
+        n = ext.length - off if length is None else min(length,
+                                                        ext.length - off)
+        if n <= 0:
+            return b""
+        return (yield from self.store.get_range(
+            self.key_pack(ext.pack), ext.offset + off, n, src=src))
+
+    def apply_extent_delta(self, ino: int,
+                           set_map: Optional[Dict[int, PackExtent]] = None,
+                           del_list=(), clear: bool = False,
+                           src: Optional[Node] = None) -> SimGen:
+        """Idempotent read-modify-write on a file's extent index.
+
+        ``clear`` drops the whole index first, then ``del_list`` entries
+        are removed and ``set_map`` entries installed; the index object is
+        deleted when it ends empty. Replaying the same delta is a no-op,
+        which is what lets these ride the journal's redo log."""
+        key = self.key_extent_index(ino)
+        cur = ({} if clear
+               else (yield from self.read_extent_index(ino, src=src)))
+        for idx in del_list:
+            cur.pop(int(idx), None)
+        for idx, ext in (set_map or {}).items():
+            cur[int(idx)] = PackExtent(*ext)
+        if cur:
+            yield from self.store.put(key, self.dump_extent_index(cur),
+                                      src=src)
+        else:
+            try:
+                yield from self.store.delete(key, src=src)
+            except NoSuchKey:
+                pass
+        return cur
+
+    def truncate_extents(self, ino: int, new_size: int,
+                         src: Optional[Node] = None) -> SimGen:
+        """Pack analogue of :meth:`truncate_data`: drop extents wholly past
+        the new EOF and shorten the boundary chunk's extent (extents cover
+        chunk prefixes, so a prefix trim keeps surviving bytes intact).
+
+        Returns what the truncate killed as ``(chunk index, old extent,
+        kept bytes)`` tuples (``kept`` nonzero only for the trimmed
+        boundary chunk), so the caller can feed the pack layer's keyed
+        live-byte accounting (which drives reclaim and compaction)."""
+        cur = yield from self.read_extent_index(ino, src=src)
+        if not cur:
+            return []
+        osz = self.data_object_size
+        first_dead = -(-new_size // osz)
+        dead = [idx for idx in cur if idx >= first_dead]
+        killed = [(idx, cur[idx], 0) for idx in dead]
+        set_map: Dict[int, PackExtent] = {}
+        if new_size % osz:
+            bidx = new_size // osz
+            ext = cur.get(bidx)
+            if ext is not None and ext.length > new_size % osz:
+                kept = new_size % osz
+                set_map[bidx] = PackExtent(ext.pack, ext.offset, kept)
+                killed.append((bidx, ext, kept))
+        if dead or set_map:
+            yield from self.apply_extent_delta(
+                ino, set_map=set_map, del_list=dead, src=src)
+        return killed

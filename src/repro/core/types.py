@@ -11,12 +11,13 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from ..posix.acl import Acl
 from ..posix.types import FileType, StatResult
 
-__all__ = ["ROOT_INO", "InoAllocator", "Inode", "Dentry", "ino_hex"]
+__all__ = ["ROOT_INO", "InoAllocator", "Inode", "Dentry", "PackExtent",
+           "ino_hex"]
 
 #: Fixed inode number of the root directory (UUID value 1).
 ROOT_INO = 1
@@ -42,6 +43,18 @@ class InoAllocator:
             if ino not in self._seen and ino != 0:
                 self._seen.add(ino)
                 return ino
+
+
+class PackExtent(NamedTuple):
+    """Where one packed chunk lives inside a sealed container object.
+
+    The extent index object ``x<file-uuid>`` maps chunk index →
+    ``[pack_id, offset, length]``; the container itself is ``p<pack_id>``.
+    """
+
+    pack: str
+    offset: int
+    length: int
 
 
 @dataclass

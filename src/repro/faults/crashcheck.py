@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import build_arkfs
 from ..core.fsck import fsck
+from ..core.params import ArkFSParams, DEFAULT_PARAMS, KiB
 from ..core.recovery import recover_directory
 from ..posix import ROOT_CREDS
 from ..posix.vfs import SyncFS
@@ -92,6 +93,7 @@ class Workload:
     setup: Callable                     # client -> SimGen, run unarmed
     steps: List[Step]
     invariants: Optional[Callable] = None   # (SyncFS, violations) -> None
+    params: Optional[ArkFSParams] = None    # cluster params override
 
 
 def _wl_mkdir_heavy() -> Workload:
@@ -222,6 +224,93 @@ def _wl_checkpoint() -> Workload:
     return Workload("checkpoint", setup=setup, steps=steps)
 
 
+def _wl_pack() -> Workload:
+    """Packed small-file containers: crash points across the whole pack
+    lifecycle — append, size/age seal (container PUT + extent-index
+    commit + stale-object purge), unlink-driven dead-extent accounting,
+    and background reclaim/compaction.
+
+    Small target/threshold values force several seals out of eight
+    ~40 KB files; the unlinks drop two containers' live ratios so the
+    time-advance steps land crash points inside the compactor too."""
+    params = DEFAULT_PARAMS.with_(
+        pack_enabled=True, pack_threshold=64 * KiB,
+        pack_target_size=192 * KiB, pack_seal_age=0.5,
+        pack_compact_live_ratio=0.8)
+    content = {i: bytes([97 + i]) * (40_000 + 1_000 * i) for i in range(8)}
+
+    def setup(c):
+        yield from c.mkdir(ROOT_CREDS, "/p")
+        yield from c.sync()
+
+    def wr(i, fsync):
+        return lambda c: c.write_file(ROOT_CREDS, f"/p/f{i}", content[i],
+                                      do_fsync=fsync)
+
+    def packed_check(i):
+        def check(fs):
+            if i in (1, 5):
+                # The later unlink step may have removed it — or a crash
+                # mid-unlink purged the data before the namespace commit,
+                # leaving the name reading zeros (the same torn-unlink
+                # state the checkpoint workload's contract allows).
+                if not fs.exists(f"/p/f{i}"):
+                    return
+                got = fs.read_file(f"/p/f{i}")
+                assert got in (content[i], b"\x00" * len(got)), \
+                    f"/p/f{i} holds {len(got)} unexpected bytes"
+                return
+            got = fs.read_file(f"/p/f{i}")
+            assert got == content[i], \
+                f"/p/f{i} holds {len(got)} bytes != expected"
+        return check
+
+    def synced_check(fs):
+        for i in range(4, 8):
+            packed_check(i)(fs)
+
+    def gone_check(fs):
+        for i in (1, 5):
+            assert not fs.exists(f"/p/f{i}"), f"/p/f{i} survived unlink"
+
+    steps = [Step(f"fsync:f{i}", gen=wr(i, True), durable=packed_check(i))
+             for i in range(4)]
+    # Let the age-based seal and the commit threads fire mid-workload.
+    steps.append(Step("advance-seal", advance=1.0))
+    steps += [Step(f"write:f{i}", gen=wr(i, False)) for i in range(4, 8)]
+    steps.append(Step("sync-1", gen=lambda c: c.sync(),
+                      durable=synced_check))
+    steps.append(Step("unlink:f1",
+                      gen=lambda c: c.unlink(ROOT_CREDS, "/p/f1")))
+    steps.append(Step("unlink:f5",
+                      gen=lambda c: c.unlink(ROOT_CREDS, "/p/f5")))
+    steps.append(Step("sync-2", gen=lambda c: c.sync(),
+                      durable=gone_check))
+    # The maintenance ticker reclaims dead containers / compacts
+    # low-live-ratio ones during this window.
+    steps.append(Step("advance-compact", advance=2.0))
+    steps.append(Step("sync-3", gen=lambda c: c.sync()))
+
+    def invariants(fs, violations):
+        # Any surviving file must read as its exact content or as zeros
+        # (metadata-journaling semantics: an unfsynced file's bytes lived
+        # only in the victim's cache/open pack buffer) — never as another
+        # file's bytes or a torn mix. A 40 KB file is one chunk, so its
+        # packed extent is either wholly present or wholly absent.
+        for i in range(8):
+            path = f"/p/f{i}"
+            if not fs.exists(path):
+                continue
+            got = fs.read_file(path)
+            if got not in (content[i], b"\x00" * len(got), b""):
+                violations.append(
+                    f"{path} holds {len(got)} bytes that are neither its "
+                    f"content nor zeros")
+
+    return Workload("pack", setup=setup, steps=steps,
+                    invariants=invariants, params=params)
+
+
 def _noop_setup(client):
     yield client.sim.timeout(0)
 
@@ -234,6 +323,7 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "mkdir": _wl_mkdir_heavy,
     "rename": _wl_rename_heavy,
     "checkpoint": _wl_checkpoint,
+    "pack": _wl_pack,
 }
 
 
@@ -328,12 +418,13 @@ class _StepWedged(Exception):
     """A step made no progress within its sim-time bound."""
 
 
-def _build(bug: Optional[str] = None):
+def _build(bug: Optional[str] = None,
+           params: Optional[ArkFSParams] = None):
     sim = Simulator()
     plan = FaultPlan()
     plan.disarm()
     cluster = build_arkfs(sim, n_clients=2, functional=True, seed=0,
-                          faults=plan)
+                          params=params or DEFAULT_PARAMS, faults=plan)
     if bug is not None:
         SEEDED_BUGS[bug](cluster)
     return sim, cluster, plan
@@ -362,7 +453,7 @@ def profile(workload: Workload,
     op-count milestones, failure)`` — ``failure`` is set when a step failed
     even without any fault injected (itself a finding; the sweep still
     covers the ops up to that point)."""
-    sim, cluster, plan = _build(bug)
+    sim, cluster, plan = _build(bug, params=workload.params)
     victim = cluster.client(0)
     plan.crash_victim = victim.node.name   # count, but never crash
     try:
@@ -386,7 +477,7 @@ def profile(workload: Workload,
 def check_point(workload: Workload, k: int, milestones: List[int],
                 bug: Optional[str] = None) -> CrashPointResult:
     """Crash the victim at its k-th store op, recover, check invariants."""
-    sim, cluster, plan = _build(bug)
+    sim, cluster, plan = _build(bug, params=workload.params)
     victim, survivor = cluster.client(0), cluster.client(1)
     plan.crash_at(victim.node.name, k, handler=victim.crash)
     try:

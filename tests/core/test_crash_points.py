@@ -1,7 +1,7 @@
 """Crash-point enumeration via ``repro.faults.crashcheck``.
 
-Tier-1 runs a *bounded* sweep (strided crash points) over all three
-workloads — fast, but still crossing every phase of each workload. The
+Tier-1 runs a *bounded* sweep (strided crash points) over every
+workload — fast, but still crossing every phase of each one. The
 exhaustive rename sweep (every one of the ~220 store-op crash indices,
 the headline acceptance criterion) is gated behind ``REPRO_SLOW=1``.
 
@@ -26,7 +26,7 @@ SLOW = bool(os.environ.get("REPRO_SLOW"))
 
 # Strides chosen so each tier-1 sweep checks ~7 points spread across the
 # whole workload (including the recovery-heavy tail).
-BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5)]
+BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5), ("pack", 11)]
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -69,7 +69,7 @@ def test_full_rename_sweep_every_store_op():
 
 
 @pytest.mark.skipif(not SLOW, reason="exhaustive sweep; set REPRO_SLOW=1")
-@pytest.mark.parametrize("name", ["mkdir", "checkpoint"])
+@pytest.mark.parametrize("name", ["mkdir", "checkpoint", "pack"])
 def test_full_sweep_other_workloads(name):
     report = sweep(name, stride=1)
     assert report.ok, report.summary()
