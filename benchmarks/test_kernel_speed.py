@@ -1,0 +1,111 @@
+"""Kernel microbenchmark: fast two-queue scheduler vs. reference heap kernel.
+
+Measures raw scheduler throughput (simulated operations per real second) on
+the two workloads from :mod:`repro.bench.kernelbench`, each under both
+kernels. The speedups land in ``BENCH_kernel.json`` via ``extra_info`` and
+``scripts/perf_gate.py`` gates CI on them (ratios, not absolute ops/sec, so
+host speed mostly cancels).
+
+The fig6a data-path benchmark is gated on *deterministic* kernel counters
+instead of wall clock: fig6a is dominated by cache/data movement, not the
+scheduler, so its wall-clock delta between kernels is small and drowns in
+noise on a loaded host — but the event-elision the fast kernel performs is
+exactly reproducible, so the counter reduction is assertable bit-for-bit.
+
+Measured reference numbers (same machine, best of 3, fresh process):
+
+* pingpong:  legacy/pre-PR ~37-42k ops/s, fast ~167-208k  -> 4.4-5.0x
+* contended: legacy/pre-PR ~339-405k ops/s, fast ~515-554k -> 1.4x
+  (per-op generator frames shared by both kernels floor this ratio)
+* fig6a arkfs events: legacy 13,898 loop / 13,910 heap pushes;
+  fast 9,556 loop / 7,630 heap pushes (4,340 consumed inline)
+
+Assertion floors sit well under the measured speedups to absorb CI noise.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import SMALL
+from repro.bench.harness import NET_50G, build
+from repro.bench.kernelbench import compare
+from repro.sim import Simulator
+from repro.sim.stats import kernel_counters
+from repro.workloads import fio_seq
+
+#: Absolute throughputs measured at the commit before the fast kernel
+#: landed (the in-process ``fast=False`` kernel is the same algorithm).
+PRE_PR = {"pingpong_ops_per_sec": 37_200.0,
+          "contended_ops_per_sec": 339_000.0}
+
+# (workload, minimum fast-vs-legacy speedup). Measured: pingpong 4.4-5.2x,
+# contended 1.24-1.45x.
+_FLOORS = [("pingpong", 3.5), ("contended", 1.1)]
+
+
+@pytest.mark.parametrize("workload,floor", _FLOORS)
+def test_kernel_microbench_speedup(benchmark, workload, floor):
+    result = benchmark.pedantic(compare, args=(workload,),
+                                iterations=1, rounds=1, warmup_rounds=0)
+    fast, legacy = result["fast"], result["legacy"]
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["speedup"] = result["speedup"]
+    benchmark.extra_info["fast_ops_per_sec"] = fast["ops_per_sec"]
+    benchmark.extra_info["legacy_ops_per_sec"] = legacy["ops_per_sec"]
+    benchmark.extra_info["fast_counters"] = fast["counters"]
+    benchmark.extra_info["legacy_counters"] = legacy["counters"]
+    benchmark.extra_info["pre_pr"] = PRE_PR
+    print(f"\n{workload}: fast {fast['ops_per_sec']:,.0f} ops/s, "
+          f"legacy {legacy['ops_per_sec']:,.0f} ops/s, "
+          f"speedup {result['speedup']:.2f}x")
+    assert result["speedup"] >= floor, (
+        f"{workload}: fast kernel only {result['speedup']:.2f}x over the "
+        f"heap-only scheduler (floor {floor}x)")
+
+
+def _fig6a_arkfs(fast):
+    """The fig6a arkfs leg with the Simulator in hand, so the kernel
+    counters are readable afterwards."""
+    sim = Simulator(fast=fast)
+    _cluster, mounts = build("arkfs", sim, n_clients=SMALL.fio_nodes,
+                             net=NET_50G,
+                             cache_capacity=max(96 * 1024 * 1024,
+                                                SMALL.fio_file // 2))
+    t0 = time.perf_counter()
+    result = fio_seq(sim, mounts, n_procs=SMALL.fio_procs,
+                     file_size=SMALL.fio_file, block_size=SMALL.fio_block)
+    wall = time.perf_counter() - t0
+    return ((result.write_mbps, result.read_mbps), kernel_counters(sim),
+            wall)
+
+
+def test_fig6a_event_elision_and_identity(benchmark):
+    """On the fig6a arkfs workload the fast kernel must elide a large,
+    deterministic share of the reference kernel's events while producing
+    identical simulated bandwidths. Wall clocks are recorded for the JSON
+    but not asserted: this workload is data-path-bound, so its wall delta
+    is within host noise."""
+
+    def measure():
+        r_fast, c_fast, w_fast = _fig6a_arkfs(True)
+        r_legacy, c_legacy, w_legacy = _fig6a_arkfs(False)
+        assert r_fast == r_legacy  # bit-identical simulated bandwidths
+        return {"fast": c_fast, "legacy": c_legacy,
+                "fast_wall_s": w_fast, "legacy_wall_s": w_legacy}
+
+    out = benchmark.pedantic(measure, iterations=1, rounds=1,
+                             warmup_rounds=0)
+    benchmark.extra_info["workload"] = "fig6a_arkfs_small"
+    benchmark.extra_info.update(out)
+    loop_cut = 1 - out["fast"]["loop_events"] / out["legacy"]["loop_events"]
+    heap_cut = 1 - out["fast"]["heap_pushes"] / out["legacy"]["heap_pushes"]
+    print(f"\nfig6a arkfs: loop events {out['legacy']['loop_events']} -> "
+          f"{out['fast']['loop_events']} (-{loop_cut:.0%}), heap pushes "
+          f"{out['legacy']['heap_pushes']} -> {out['fast']['heap_pushes']} "
+          f"(-{heap_cut:.0%}), {out['fast']['inline_events']} inline")
+    # Measured: 31% fewer loop events, 45% fewer heap pushes, 4340 inline.
+    assert loop_cut >= 0.25
+    assert heap_cut >= 0.35
+    assert out["fast"]["inline_events"] > 0
+    assert out["legacy"]["inline_events"] == 0

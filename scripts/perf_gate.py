@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Kernel performance gate: fail CI if the fast-kernel speedup regresses.
+
+Usage::
+
+    python scripts/perf_gate.py BENCH_kernel.json [--baseline PATH]
+    python scripts/perf_gate.py BENCH_kernel.json --update
+
+Reads the pytest-benchmark JSON written by ``benchmarks/test_kernel_speed.py``
+(each benchmark's ``extra_info`` carries ``workload`` and ``speedup``) and
+compares against the committed baseline in ``benchmarks/kernel_baseline.json``.
+
+The gated quantity is the *speedup ratio* — fast-kernel ops/sec over
+heap-only-kernel ops/sec, both measured in the same process moments apart —
+not absolute throughput. A ratio of two runs on the same machine mostly
+cancels host speed, so one committed baseline serves laptops and CI runners
+alike. The gate fails when a workload's measured speedup falls below
+``gate_fraction`` (default 0.8) of its baseline speedup: an optimisation
+that quietly stopped firing shows up as the ratio collapsing toward 1.0
+long before absolute numbers could prove anything.
+
+``--update`` rewrites the baseline's speedups from the given results file
+(keeping the recorded pre-PR context numbers); commit the diff alongside
+whatever kernel change justified it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO, "benchmarks", "kernel_baseline.json")
+
+
+def load_speedups(results_path: str) -> dict:
+    """Extract {workload: speedup} from a pytest-benchmark JSON file."""
+    with open(results_path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        workload = info.get("workload")
+        speedup = info.get("speedup")
+        if workload is not None and speedup is not None:
+            out[workload] = float(speedup)
+    return out
+
+
+def gate(results_path: str, baseline_path: str) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    fraction = float(baseline.get("gate_fraction", 0.8))
+    measured = load_speedups(results_path)
+    failures = []
+    for workload, entry in baseline["workloads"].items():
+        base = float(entry["speedup"])
+        floor = fraction * base
+        got = measured.get(workload)
+        if got is None:
+            failures.append(f"{workload}: no speedup in {results_path} "
+                            f"(benchmark missing or crashed)")
+            continue
+        verdict = "ok" if got >= floor else "FAIL"
+        print(f"{workload}: speedup {got:.2f}x vs baseline {base:.2f}x "
+              f"(floor {floor:.2f}x) {verdict}")
+        if got < floor:
+            failures.append(
+                f"{workload}: speedup {got:.2f}x < floor {floor:.2f}x "
+                f"({fraction:.0%} of baseline {base:.2f}x)")
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def update(results_path: str, baseline_path: str) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    measured = load_speedups(results_path)
+    changed = False
+    for workload, entry in baseline["workloads"].items():
+        got = measured.get(workload)
+        if got is None:
+            print(f"{workload}: not in {results_path}; keeping "
+                  f"{entry['speedup']:.2f}x")
+            continue
+        print(f"{workload}: {entry['speedup']:.2f}x -> {got:.2f}x")
+        entry["speedup"] = round(got, 2)
+        changed = True
+    if changed:
+        with open(baseline_path, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote {baseline_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark JSON "
+                        "(BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline speedups from the results")
+    args = parser.parse_args(argv)
+    if args.update:
+        return update(args.results, args.baseline)
+    return gate(args.results, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,13 +29,22 @@ __all__ = ["CacheEntry", "ReadAheadState", "DataObjectCache"]
 
 
 class CacheEntry:
-    """One cached data object (at most ``entry_size`` bytes)."""
+    """One cached data object (at most ``entry_size`` bytes).
 
-    __slots__ = ("index", "data", "dirty", "loading", "backed")
+    ``data`` is a capacity buffer and ``size`` the count of valid bytes in
+    it: growing a multi-megabyte bytearray 128 KiB at a time forces a
+    realloc+copy on nearly every extension once many entries are live
+    (in-place realloc almost never succeeds with interleaved writers), so
+    the buffer instead grows geometrically and writes land as equal-length
+    slice assignments. Bytes past ``size`` are never observable — reads and
+    writebacks clip at ``size`` and extension gaps are re-zeroed."""
+
+    __slots__ = ("index", "data", "size", "dirty", "loading", "backed")
 
     def __init__(self, index: int):
         self.index = index
         self.data = bytearray()
+        self.size = 0
         self.dirty = False
         self.loading: Optional[Event] = None  # set while a fetch is in flight
         self.backed = False  # a plain ``d`` object exists for this chunk
@@ -228,7 +237,7 @@ class DataObjectCache:
         # Clear the flag before the PUT: a write landing mid-flush re-dirties
         # the entry rather than getting silently marked clean.
         entry.dirty = False
-        snapshot = bytes(entry.data)
+        snapshot = bytes(memoryview(entry.data)[:entry.size])
         if self._pack is not None and self._pack.wants(len(snapshot)):
             # Sub-threshold chunk: append into the open container buffer
             # (a memcpy) instead of an individual PUT; durability comes
@@ -323,6 +332,7 @@ class DataObjectCache:
             sp.close()
             self._g_inflight_gets.add(-1)
         entry.data = bytearray(data)
+        entry.size = len(data)
         entry.backed = backed
         ev, entry.loading = entry.loading, None
         ev.succeed(entry)
@@ -443,10 +453,13 @@ class DataObjectCache:
                 elif idx not in fetched:
                     self._c_hits.inc()
                 self._touch(ino, entry)
-                piece = bytes(entry.data[off : off + n])
-                if len(piece) < n:
-                    piece += b"\x00" * (n - len(piece))
-                out += piece
+                avail = entry.size - off
+                if avail >= n:
+                    out += memoryview(entry.data)[off : off + n]
+                else:
+                    if avail > 0:
+                        out += memoryview(entry.data)[off : off + avail]
+                    out += b"\x00" * (n - max(avail, 0))
             yield from self._copy_cost(length)
         finally:
             sp.close()
@@ -483,9 +496,21 @@ class DataObjectCache:
                     ino, idx,
                     fetch=not covers_existing and entry_base < old_size
                 )
-                if len(entry.data) < off:
-                    entry.data += b"\x00" * (off - len(entry.data))
-                entry.data[off : off + n] = piece
+                d = entry.data
+                end = off + n
+                if len(d) < end:
+                    # Grow capacity geometrically (clipped to the entry's
+                    # natural size) so a sequential fill costs O(1) reallocs
+                    # amortized instead of one realloc+copy per write.
+                    cap = min(max(end, 2 * len(d)), max(end, self.entry_size))
+                    d += bytes(cap - len(d))
+                if entry.size < off:
+                    # Zero any stale capacity bytes in the gap so they can't
+                    # leak into reads once ``size`` moves past them.
+                    d[entry.size:off] = bytes(off - entry.size)
+                d[off:end] = piece
+                if entry.size < end:
+                    entry.size = end
                 entry.dirty = True
             yield from self._copy_cost(len(data))
         finally:

@@ -3,8 +3,14 @@
 A :class:`Span` is pure bookkeeping: opening one reads ``sim.now`` and
 pushes it onto a per-process stack; closing it reads ``sim.now`` again and
 appends the finished span to the tracer. No events are scheduled and no
-process state is touched, so *enabling tracing can never perturb the DES
-schedule* — traced and untraced runs pop the identical event sequence.
+process state is touched, so *enabling tracing can never perturb simulated
+time*: every timestamp, result, and the relative order of user-visible
+actions is identical with tracing on or off. The raw event *count* may
+differ, though — the fast kernel's elision short-circuits (zero-hold
+``Resource.use``, instant sends, zero-duration transfers; DESIGN.md §10)
+are gated on ``sim._tracer is None`` so each elided round-trip can instead
+materialize as real events carrying their spans. An untraced run processes
+a subset of a traced run's events, never a reordering.
 
 With tracing disabled (``sim._tracer is None``, the default) instrumented
 hot paths pay a single attribute check; the :func:`span` helper returns a

@@ -20,7 +20,13 @@ from .engine import (
 )
 from .network import NetParams, Network, Node, NodeDown, RpcError
 from .resources import BandwidthPipe, Mutex, Request, Resource, Store, serve
-from .stats import BandwidthMeter, OpStats, PhaseRecorder, PhaseResult
+from .stats import (
+    BandwidthMeter,
+    OpStats,
+    PhaseRecorder,
+    PhaseResult,
+    kernel_counters,
+)
 
 __all__ = [
     "AllOf",
@@ -46,5 +52,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "kernel_counters",
     "serve",
 ]

@@ -99,16 +99,29 @@ class Node:
         Application-level exceptions raised by the handler propagate to the
         caller (after paying the response network cost), mirroring how a gRPC
         error status travels back. Transport failures raise :class:`RpcError`.
+
+        Not itself a generator function: it returns the underlying RPC
+        generator so the untraced hot path costs a single frame under
+        ``yield from``. Callers iterate it exactly as before.
         """
-        tr = self.sim._tracer
-        if tr is not None:
-            with tr.span("rpc:" + method, "rpc", dst=target.name):
-                return (yield from self._call(target, method, *args,
-                                              req_size=req_size,
-                                              resp_size=resp_size))
-        return (yield from self._call(target, method, *args,
-                                      req_size=req_size,
-                                      resp_size=resp_size))
+        if self.sim._tracer is None:
+            return self._call(target, method, *args,
+                              req_size=req_size, resp_size=resp_size)
+        return self._traced_call(target, method, *args,
+                                 req_size=req_size, resp_size=resp_size)
+
+    def _traced_call(
+        self,
+        target: "Node",
+        method: str,
+        *args: Any,
+        req_size: int = 256,
+        resp_size: int = 256,
+    ) -> SimGen:
+        with self.sim._tracer.span("rpc:" + method, "rpc", dst=target.name):
+            return (yield from self._call(target, method, *args,
+                                          req_size=req_size,
+                                          resp_size=resp_size))
 
     def _call(
         self,
@@ -119,14 +132,22 @@ class Node:
         resp_size: int = 256,
     ) -> SimGen:
         assert self.net is not None, "node not attached to a network"
+        sim = self.sim
+        # The qualified span name only matters when tracing; skip the
+        # per-RPC f-string otherwise (the bare method still names the
+        # process for debugging).
+        name = (f"{method}@{target.name}" if sim._tracer is not None
+                else method)
         if not self.alive:
             raise NodeDown(f"caller {self.name} is down")
         if target is self:
             # Local dispatch: no network, but still runs the handler.
             handler = target._handlers[method]
-            result = yield self.sim.process(handler(*args), name=f"{method}@{target.name}")
+            result = yield sim.process(handler(*args), name=name)
             return result
-        yield from self.net.send(self, target, req_size)
+        net = self.net
+        if not net.try_instant_send(self, target, req_size):
+            yield from net.send(self, target, req_size)
         if not target.alive:
             # Model the caller burning its RPC timeout discovering the death.
             yield self.sim.timeout(self.net.params.rpc_timeout_s)
@@ -136,17 +157,16 @@ class Node:
         except KeyError:
             raise RpcError(f"node {target.name} has no handler {method!r}") from None
         try:
-            result = yield self.sim.process(
-                handler(*args), name=f"{method}@{target.name}"
-            )
+            result = yield sim.process(handler(*args), name=name)
         except Exception:
             if target.alive and self.alive:
-                yield from self.net.send(target, self, resp_size)
+                yield from net.send(target, self, resp_size)
             raise
         if not target.alive:
-            yield self.sim.timeout(self.net.params.rpc_timeout_s)
+            yield sim.timeout(net.params.rpc_timeout_s)
             raise NodeDown(f"rpc {method!r}: node {target.name} died mid-call")
-        yield from self.net.send(target, self, resp_size)
+        if not net.try_instant_send(target, self, resp_size):
+            yield from net.send(target, self, resp_size)
         return result
 
 
@@ -156,6 +176,9 @@ class Network:
     def __init__(self, sim: Simulator, params: Optional[NetParams] = None):
         self.sim = sim
         self.params = params or NetParams()
+        # Params are frozen; cache the zero-latency check the instant-send
+        # fast path makes on every message.
+        self._lat0 = self.params.latency_s == 0.0
         self.nodes: Dict[str, Node] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -171,6 +194,33 @@ class Network:
 
     def node(self, name: str) -> Node:
         return self.nodes[name]
+
+    def try_instant_send(self, src: Node, dst: Node, size: int) -> bool:
+        """Non-generator fast path for :meth:`send`: deliver instantly and
+        return True iff every segment (both NIC serializations and the
+        latency hop) would individually short-circuit — zero latency, idle
+        NICs, zero serialization time, no faults/tracer, nothing else
+        runnable. All conditions are checked before any accounting so the
+        elision is all-or-nothing; on False the caller pays :meth:`send`.
+
+        Equivalent to ``send`` because when all three segments
+        short-circuit, ``send`` completes without a single yield — the
+        kernel state the conditions depend on cannot change mid-way."""
+        sim = self.sim
+        if (self._lat0 and size >= 0 and self.faults is None
+                and sim._tracer is None and sim._inline_ok()):
+            sp, dp = src.nic, dst.nic
+            sres, dres = sp._res, dp._res
+            if (sres._in_use < sres.capacity
+                    and dres._in_use < dres.capacity
+                    and size * sres.capacity / sp.bytes_per_sec == 0.0
+                    and size * dres.capacity / dp.bytes_per_sec == 0.0):
+                self.messages_sent += 1
+                self.bytes_sent += size
+                sp.bytes_moved += size
+                dp.bytes_moved += size
+                return True
+        return False
 
     def send(self, src: Node, dst: Node, size: int) -> SimGen:
         """Move ``size`` bytes from ``src`` to ``dst``: NIC serialization at
@@ -189,10 +239,20 @@ class Network:
                         f"message {src.name}->{dst.name} dropped ({size}B)")
                 yield self.sim.timeout(delay)
         yield from src.nic.transfer(size)
-        tr = self.sim._tracer
+        sim = self.sim
+        tr = sim._tracer
+        lat = self.params.latency_s
         if tr is not None:
             with tr.span("net.lat", "net"):
-                yield self.sim.timeout(self.params.latency_s)
+                yield sim.timeout(lat)
+        elif lat == 0.0:
+            # Zero-latency hop: skip the timeout round-trip entirely when
+            # nothing else is runnable right now (order-identical); fall
+            # back to a plain zero timeout otherwise.
+            if not sim._inline_ok():
+                yield sim.timeout(0.0)
         else:
-            yield self.sim.timeout(self.params.latency_s)
+            t = sim._timeout_acquire(lat)
+            yield t
+            sim._timeout_release(t)
         yield from dst.nic.transfer(size)

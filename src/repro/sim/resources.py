@@ -4,6 +4,14 @@ These model the shared hardware the paper's performance effects come from:
 CPU cores at metadata servers and clients (:class:`Resource`), storage and
 network bandwidth (:class:`BandwidthPipe`), message queues (:class:`Store`),
 and mutual exclusion such as the FUSE lookup lock (:class:`Mutex`).
+
+Hot-path notes (DESIGN.md §10): the uncontended zero-hold acquisition in
+:meth:`Resource.use` short-circuits the whole request/grant/release Event
+round-trip when the kernel can prove the grant would be processed
+immediately anyway (``Simulator._inline_ok``); never-granted requests are
+*lazily* cancelled instead of removed from the FIFO in O(n); and the
+Request/Timeout objects used internally by ``use`` are recycled through
+small freelists.
 """
 
 from __future__ import annotations
@@ -14,6 +22,11 @@ from typing import Any, Deque, Generator, Optional
 from .engine import Event, SimGen, Simulator, SimulationError
 
 __all__ = ["Request", "Resource", "Mutex", "Store", "BandwidthPipe", "serve"]
+
+_PENDING = Event._PENDING
+
+#: Cap on each Resource's internal Request freelist.
+_REQ_POOL_MAX = 64
 
 
 def _span_cat(name: str) -> str:
@@ -34,12 +47,15 @@ class Request(Event):
     passed back to :meth:`Resource.release`.
     """
 
-    __slots__ = ("resource", "granted")
+    __slots__ = ("resource", "granted", "cancelled")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
         self.granted = False
+        # Lazily-cancelled queued request: skipped (and dropped) when it
+        # reaches the head of the FIFO instead of being removed in O(n).
+        self.cancelled = False
 
 
 class Resource:
@@ -60,6 +76,8 @@ class Resource:
         self._wait_name = f"wait:{name}" if name else "wait"
         self._in_use = 0
         self._queue: Deque[Request] = deque()
+        self._n_cancelled = 0
+        self._pool: list[Request] = []
 
     @property
     def in_use(self) -> int:
@@ -67,7 +85,7 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._n_cancelled
 
     def request(self) -> Request:
         req = Request(self)
@@ -77,18 +95,49 @@ class Resource:
             self._queue.append(req)
         return req
 
+    def _request_pooled(self) -> Request:
+        """Internal variant of :meth:`request` for :meth:`use`: may return a
+        recycled Request object (never exposed to user code)."""
+        pool = self._pool
+        if pool:
+            req = pool.pop()
+            req._value = _PENDING
+            req._ok = None
+            req._scheduled = False
+            req.callbacks = []
+            req.granted = False
+            req.cancelled = False
+        else:
+            req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
     def release(self, req: Request) -> None:
         if not req.granted:
             # Cancelling a queued request (e.g. the holder-to-be crashed).
-            try:
-                self._queue.remove(req)
-            except ValueError:
+            # Lazy: flag it and let the grant loop skip it when it surfaces;
+            # an O(n) deque.remove here was a hot spot under crash sweeps.
+            if req.cancelled or req._value is not _PENDING:
                 raise SimulationError("releasing a request never granted/queued")
+            req.cancelled = True
+            self._n_cancelled += 1
+            q = self._queue
+            while q and q[0].cancelled:
+                q.popleft()
+                self._n_cancelled -= 1
             return
         req.granted = False
         self._in_use -= 1
-        while self._queue and self._in_use < self.capacity:
-            self._grant(self._queue.popleft())
+        q = self._queue
+        while q and self._in_use < self.capacity:
+            nxt = q.popleft()
+            if nxt.cancelled:
+                self._n_cancelled -= 1
+                continue
+            self._grant(nxt)
 
     def _grant(self, req: Request) -> None:
         self._in_use += 1
@@ -101,8 +150,16 @@ class Resource:
         With tracing on, a contended acquisition gets a queue-wait span and
         the hold gets a span in the resource's attribution category; the
         yielded event sequence is identical either way."""
-        tr = self.sim._tracer
-        req = self.request()
+        sim = self.sim
+        tr = sim._tracer
+        if (tr is None and hold_time == 0.0 and self._in_use < self.capacity
+                and sim._inline_ok()):
+            # Uncontended zero-hold acquisition with nothing else runnable
+            # right now: the reference kernel would grant, immediately
+            # process the grant event, and release without any intervening
+            # action — elide the Event round-trip entirely.
+            return
+        req = self._request_pooled()
         if tr is not None and not req.granted:
             with tr.span(self._wait_name, "queue"):
                 yield req
@@ -112,11 +169,19 @@ class Resource:
             if hold_time > 0:
                 if tr is not None:
                     with tr.span(self.name or "hold", self.span_cat):
-                        yield self.sim.timeout(hold_time)
+                        yield sim.timeout(hold_time)
                 else:
-                    yield self.sim.timeout(hold_time)
+                    t = sim._timeout_acquire(hold_time)
+                    yield t
+                    sim._timeout_release(t)
         finally:
             self.release(req)
+            # Recycle only fully-consumed requests: processed (popped off
+            # the queues, callbacks run) and not parked cancelled in the
+            # FIFO. Anything else may still be referenced by the scheduler.
+            if (sim._fast and req.callbacks is None and not req.cancelled
+                    and len(self._pool) < _REQ_POOL_MAX):
+                self._pool.append(req)
 
 
 class Mutex(Resource):
@@ -187,14 +252,36 @@ class BandwidthPipe:
             self._res.span_cat = "media"
         self.bytes_moved = 0
 
+    def try_instant(self, nbytes: int) -> bool:
+        """Non-generator fast path: account ``nbytes`` and return True iff
+        the transfer would be elided entirely (zero serialization time,
+        idle lane, nothing else runnable). Callers fall back to
+        :meth:`transfer` on False. Saves the generator frame that
+        :meth:`transfer`'s own short-circuit would still pay."""
+        res = self._res
+        sim = self.sim
+        if (nbytes >= 0 and res._in_use < res.capacity
+                and nbytes * res.capacity / self.bytes_per_sec == 0.0
+                and sim._tracer is None and sim._inline_ok()):
+            self.bytes_moved += nbytes
+            return True
+        return False
+
     def transfer(self, nbytes: int) -> SimGen:
         """Generator: move ``nbytes`` through the pipe, modelling queueing."""
         if nbytes < 0:
             raise SimulationError("cannot transfer negative bytes")
         self.bytes_moved += nbytes
+        res = self._res
         # Each lane serves at the per-lane share of the aggregate rate.
-        duration = nbytes * self._res.capacity / self.bytes_per_sec
-        yield from self._res.use(duration)
+        duration = nbytes * res.capacity / self.bytes_per_sec
+        sim = self.sim
+        if (duration == 0.0 and res._in_use < res.capacity
+                and sim._tracer is None and sim._inline_ok()):
+            # Zero-serialization hop through an idle pipe: same elision as
+            # the zero-hold Resource.use fast path, minus a generator frame.
+            return
+        yield from res.use(duration)
 
     @property
     def queue_length(self) -> int:

@@ -13,7 +13,24 @@ from typing import Dict, List, Optional
 from ..obs.metrics import Histogram
 from .engine import Simulator
 
-__all__ = ["OpStats", "PhaseResult", "PhaseRecorder", "BandwidthMeter"]
+__all__ = ["OpStats", "PhaseResult", "PhaseRecorder", "BandwidthMeter",
+           "kernel_counters"]
+
+
+def kernel_counters(sim: Simulator) -> Dict[str, int]:
+    """Scheduler-internals snapshot for microbenchmarks and perf triage.
+
+    ``loop_events`` counts events dispatched through the run loop,
+    ``inline_events`` those consumed by the immediate-resume fast path
+    without a loop round-trip (DESIGN.md §10), and ``heap_pushes`` the
+    timed events that actually paid a heapq push — the three numbers that
+    explain where a workload's kernel time goes.
+    """
+    return {
+        "loop_events": sim._n_steps,
+        "inline_events": sim._n_inline,
+        "heap_pushes": sim._seq,
+    }
 
 
 class OpStats:

@@ -1,0 +1,163 @@
+"""Ordering and bit-identity pins: fast two-queue scheduler vs heap-only.
+
+The fast kernel (ready deque + immediate-resume + event elision,
+DESIGN.md §10) must execute every workload in the exact event order of the
+reference ``(time, seq)`` heap scheduler. These tests pin that equivalence
+three ways: a same-timestamp FIFO property, randomized mixed workloads
+traced under both kernels, and the small-scale paper figures compared
+output-for-output.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sim.engine as engine
+from repro.sim import Resource, Simulator, Store
+
+
+def _fifo_trace(fast, n_procs, n_rounds):
+    sim = Simulator(fast=fast)
+    order = []
+
+    def proc(k):
+        for i in range(n_rounds):
+            yield sim.timeout(0)
+            order.append((sim.now, k, i))
+
+    for k in range(n_procs):
+        sim.process(proc(k))
+    sim.run()
+    return order
+
+
+def test_same_timestamp_events_run_in_fifo_order():
+    """Zero-delay events at one timestamp run in scheduling order, and the
+    fast ready deque reproduces the heap scheduler's order exactly."""
+    fast = _fifo_trace(True, n_procs=5, n_rounds=4)
+    heap = _fifo_trace(False, n_procs=5, n_rounds=4)
+    assert fast == heap
+    # Round-robin in spawn order at every round: FIFO within a timestamp.
+    assert fast == [(0.0, k, i) for i in range(4) for k in range(5)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.sampled_from([0.0, 1e-3, 2e-3, 5e-3])),
+    min_size=1, max_size=24))
+def test_fast_and_heap_schedulers_produce_identical_traces(plan):
+    """Property: arbitrary mixes of zero-delay chains and timed waits
+    execute in the same order, at the same times, under both kernels."""
+
+    def run(fast):
+        sim = Simulator(fast=fast)
+        trace = []
+
+        def proc(k, zeros, delay):
+            yield sim.timeout(delay)
+            trace.append(("t", sim.now, k))
+            for i in range(zeros):
+                yield sim.timeout(0)
+                trace.append(("z", sim.now, k, i))
+
+        for k, (zeros, delay) in enumerate(plan):
+            sim.process(proc(k, zeros, delay))
+        sim.run()
+        return trace
+
+    assert run(True) == run(False)
+
+
+def test_mixed_resource_store_workload_identical():
+    """Resources (timed + zero holds, contention), stores, and process
+    awaits produce identical traces under both kernels — covering the
+    grant/release, short-circuit, and immediate-resume paths."""
+
+    def run(fast):
+        sim = Simulator(fast=fast)
+        trace = []
+        res = Resource(sim, capacity=2, name="cpu")
+        store = Store(sim)
+
+        def worker(k):
+            for i in range(6):
+                yield from res.use(((k + i) % 3) * 1e-3)
+                trace.append(("w", sim.now, k, i))
+
+        def producer():
+            for i in range(10):
+                store.put(i)
+                yield sim.timeout(0.4e-3)
+                trace.append(("p", sim.now, i))
+
+        def consumer():
+            for _ in range(10):
+                v = yield store.get()
+                trace.append(("c", sim.now, v))
+
+        def parent():
+            child = sim.process(worker(99))
+            trace.append(("spawned", sim.now))
+            got = yield child
+            trace.append(("joined", sim.now, got))
+
+        for k in range(4):
+            sim.process(worker(k))
+        sim.process(producer())
+        sim.process(consumer())
+        sim.process(parent())
+        sim.run()
+        return trace
+
+    assert run(True) == run(False)
+
+
+def test_immediate_resume_fires_and_matches_reference():
+    """Yielding an already-granted request takes the inline fast path
+    (no run-loop round trip) with results identical to the heap kernel."""
+
+    def run(fast):
+        sim = Simulator(fast=fast)
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def w():
+            for i in range(50):
+                req = res.request()
+                yield req
+                order.append((sim.now, i))
+                res.release(req)
+
+        sim.run_process(w())
+        return order, sim._n_inline
+
+    fast_order, fast_inline = run(True)
+    heap_order, heap_inline = run(False)
+    assert fast_order == heap_order
+    assert fast_inline == 50      # every wait consumed inline
+    assert heap_inline == 0       # reference kernel never inlines
+
+
+_FIGURES = ["fig4", "fig6a", "table2"]
+
+
+@pytest.mark.parametrize("figure", _FIGURES)
+def test_small_scale_figures_bit_identical_fast_vs_heap(figure, monkeypatch):
+    """The paper figures at small scale are byte-identical (as sorted JSON)
+    whether the fast or the heap-only scheduler runs them — the BENCH
+    output pin demanded by ROADMAP item 3."""
+    from repro.bench import SMALL
+    from repro.bench.figures import (
+        fig4_mdtest_easy,
+        fig6a_fio_rados,
+        table2_archiving,
+    )
+
+    fn = {"fig4": fig4_mdtest_easy, "fig6a": fig6a_fio_rados,
+          "table2": table2_archiving}[figure]
+    fast = json.dumps(fn(SMALL), sort_keys=True)
+    monkeypatch.setattr(engine, "DEFAULT_FAST", False)
+    heap = json.dumps(fn(SMALL), sort_keys=True)
+    assert fast == heap

@@ -194,3 +194,46 @@ def test_zero_byte_transfer_is_instant():
 
     sim.run_process(mover(sim, pipe))
     assert sim.now == 0.0
+
+
+def test_release_of_queued_request_is_lazy_cancel():
+    """Releasing a never-granted request cancels it: queue_length drops
+    immediately and the grant loop skips it when capacity frees up."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    queued_a = res.request()
+    queued_b = res.request()
+    assert res.queue_length == 2
+    res.release(queued_a)          # cancel while still queued
+    assert res.queue_length == 1
+    res.release(holder)            # grant must skip the cancelled entry
+    sim.run()
+    assert not queued_a.triggered
+    assert queued_b.triggered and queued_b.granted
+    assert res.in_use == 1
+
+
+def test_double_cancel_of_queued_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    queued = res.request()
+    res.release(queued)
+    with pytest.raises(SimulationError):
+        res.release(queued)
+
+
+def test_cancelled_queue_head_popped_eagerly():
+    """Cancelling the request at the head of the FIFO pops it (and any
+    cancelled run behind it) right away, so the queue never accumulates a
+    dead prefix."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    q1, q2, q3 = res.request(), res.request(), res.request()
+    res.release(q2)                # interior: stays parked, flagged
+    assert len(res._queue) == 3 and res.queue_length == 2
+    res.release(q1)                # head: pops itself AND the dead q2 run
+    assert len(res._queue) == 1 and res.queue_length == 1
+    assert res._queue[0] is q3
