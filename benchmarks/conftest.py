@@ -44,10 +44,32 @@ def _compact_series(snapshot):
     return snapshot
 
 
+def _obs_header():
+    """The observability header recorded in every BENCH_*.json: which
+    kernel ran and what tracing/sampling was active, so walls from
+    different configurations are never compared blind."""
+    from repro.sim.engine import DEFAULT_FAST
+
+    return {
+        "kernel_mode": "fast" if DEFAULT_FAST else "heap",
+        "sample_rate": 1.0 if BENCH_OBS.tracing else BENCH_OBS.sample_rate,
+        "tracing": BENCH_OBS.tracing,
+        "slowlog": BENCH_OBS.slowlog,
+        "recorder": BENCH_OBS.recorder,
+    }
+
+
+#: Dump of the most recent drained run, for the on-failure artifact hook.
+_LAST_OBS_DUMP = None
+
+
 def _drain_metrics(benchmark):
     """Attach every built cluster's metrics snapshot to the benchmark's
     ``extra_info`` — pytest-benchmark writes it into BENCH_*.json."""
+    global _LAST_OBS_DUMP
+    benchmark.extra_info["obs"] = _obs_header()
     metrics = []
+    failure_dump = []
     for kind, obs in BENCH_OBS.collected:
         snap = _compact_series(obs.metrics.to_dict())
         try:
@@ -56,9 +78,18 @@ def _drain_metrics(benchmark):
             json.dumps(snap, allow_nan=False)
         except ValueError as exc:
             snap = {"error": f"non-finite metric value dropped: {exc}"}
-        metrics.append({"kind": kind, "metrics": snap})
+        entry = {"kind": kind, "metrics": snap}
+        if obs.slowlog is not None and obs.slowlog.n_slow:
+            entry["slowlog"] = obs.slowlog.to_dict(max_entries=5)
+        if obs.recorder is not None:
+            entry["recorder"] = {"recorded": obs.recorder.recorded,
+                                 "dropped": obs.recorder.dropped}
+            failure_dump.append({"kind": kind,
+                                 "flight": obs.recorder.to_dict()})
+        metrics.append(entry)
     if metrics:
         benchmark.extra_info["metrics"] = metrics
+    _LAST_OBS_DUMP = failure_dump or None
 
 
 @pytest.fixture
@@ -75,3 +106,20 @@ def bench_once(benchmark):
             BENCH_OBS.reset()
 
     return run
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On benchmark failure, drop the flight-recorder rings of the last
+    drained run next to the working directory so CI can upload them."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed or not _LAST_OBS_DUMP:
+        return
+    path = f"obs_failure_{item.name}.json"
+    try:
+        with open(path, "w") as f:
+            f.write(json.dumps({"test": item.nodeid,
+                                "dumps": _LAST_OBS_DUMP}, allow_nan=False))
+    except (OSError, ValueError):
+        pass  # best-effort diagnostics; never mask the real failure

@@ -6,12 +6,23 @@ Checks the invariants Perfetto / chrome://tracing rely on:
 * strict JSON (no NaN/Infinity) with a ``traceEvents`` list;
 * every event has ``ph``, ``pid``, ``tid`` and a ``name``;
 * ``X`` (complete) events carry numeric ``ts``/``dur`` with ``dur >= 0``;
+* ``C`` (counter) events carry a numeric ``args.value``;
+* ``s``/``f`` (flow) events pair up: every flow ``id`` has exactly one
+  start and one finish, the finish uses ``bp: "e"``, and the start's
+  timestamp does not come after the finish's;
 * every ``pid`` appearing in an event is named by a ``process_name``
-  metadata record (and likewise every ``(pid, tid)`` by ``thread_name``);
+  metadata record (and likewise every ``(pid, tid)`` by ``thread_name``,
+  counters excepted — Perfetto renders them on a per-process track);
 * at least one non-metadata event exists.
 
-Usage: ``python scripts/check_chrome_trace.py TRACE.json``
-Exits non-zero (printing every violation) on an invalid trace.
+With ``--recorder`` the argument is a flight-recorder dump instead
+(``FlightRecorder.dump`` / crashcheck ``--flight`` output): checks the
+``arkfs-flight-recorder-v1`` schema marker, that every event has a
+``kind`` and a numeric non-decreasing ``t``, and that the
+``recorded``/``dropped`` accounting is consistent with the event count.
+
+Usage: ``python scripts/check_chrome_trace.py [--recorder] FILE.json``
+Exits non-zero (printing every violation) on an invalid file.
 """
 
 from __future__ import annotations
@@ -38,6 +49,8 @@ def check(path: str) -> list:
     named_tids = set()
     used_pids = set()
     used_tids = set()
+    flow_starts = {}
+    flow_ends = {}
     n_spans = 0
     for i, ev in enumerate(events):
         where = f"event[{i}]"
@@ -56,7 +69,8 @@ def check(path: str) -> list:
                 named_tids.add((pid, tid))
             continue
         used_pids.add(pid)
-        used_tids.add((pid, tid))
+        if ph != "C":
+            used_tids.add((pid, tid))
         if ph == "X":
             n_spans += 1
             for key in ("ts", "dur"):
@@ -65,6 +79,39 @@ def check(path: str) -> list:
                     errors.append(f"{where}: {key!r} not numeric: {v!r}")
             if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
                 errors.append(f"{where}: negative dur {ev['dur']}")
+        elif ph == "C":
+            value = ev.get("args", {}).get("value") \
+                if isinstance(ev.get("args"), dict) else None
+            if not isinstance(value, (int, float)):
+                errors.append(f"{where}: counter without numeric "
+                              f"args.value: {ev.get('args')!r}")
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{where}: 'ts' not numeric: {ev.get('ts')!r}")
+        elif ph in ("s", "f"):
+            fid = ev.get("id")
+            if fid is None:
+                errors.append(f"{where}: flow event without 'id'")
+                continue
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{where}: 'ts' not numeric: {ev.get('ts')!r}")
+            side = flow_starts if ph == "s" else flow_ends
+            if fid in side:
+                errors.append(f"{where}: duplicate flow {ph!r} for id {fid}")
+            side[fid] = ev
+            if ph == "f" and ev.get("bp") != "e":
+                errors.append(f"{where}: flow finish without bp='e'")
+
+    for fid, ev in sorted(flow_starts.items()):
+        end = flow_ends.get(fid)
+        if end is None:
+            errors.append(f"flow id {fid} has a start but no finish")
+        elif isinstance(ev.get("ts"), (int, float)) and \
+                isinstance(end.get("ts"), (int, float)) and \
+                ev["ts"] > end["ts"]:
+            errors.append(f"flow id {fid}: start ts {ev['ts']} after "
+                          f"finish ts {end['ts']}")
+    for fid in sorted(set(flow_ends) - set(flow_starts)):
+        errors.append(f"flow id {fid} has a finish but no start")
 
     for pid in sorted(used_pids - named_pids):
         errors.append(f"pid {pid} has events but no process_name metadata")
@@ -76,16 +123,85 @@ def check(path: str) -> list:
     return errors
 
 
+RECORDER_SCHEMA = "arkfs-flight-recorder-v1"
+
+
+def check_recorder(path: str) -> list:
+    errors = []
+    with open(path) as f:
+        try:
+            doc = json.load(f, parse_constant=lambda s: errors.append(
+                f"non-standard JSON constant {s!r}") or 0.0)
+        except json.JSONDecodeError as exc:
+            return [f"not JSON: {exc}"]
+    # Accept a bare FlightRecorder.dump(), a crashcheck --flight wrapper
+    # ({"workload": ..., "points": [{..., "flight": <dump>}]}), or the
+    # bench CLI's per-kind mapping ({"arkfs": <dump>, ...}).
+    dumps = []
+    if isinstance(doc, dict) and "points" in doc:
+        for i, pt in enumerate(doc.get("points") or []):
+            flight = pt.get("flight") if isinstance(pt, dict) else None
+            if not isinstance(flight, dict):
+                errors.append(f"points[{i}]: missing 'flight' dump")
+            else:
+                dumps.append((f"points[{i}].flight", flight))
+        if not dumps and not errors:
+            errors.append("no flight dumps in 'points'")
+    elif isinstance(doc, dict) and "events" not in doc and doc and \
+            all(isinstance(v, dict) and "events" in v for v in doc.values()):
+        dumps = sorted(doc.items())
+    elif isinstance(doc, dict):
+        dumps.append(("", doc))
+    else:
+        return ["recorder dump is not an object"]
+
+    for prefix, dump in dumps:
+        at = (prefix + ".") if prefix else ""
+        if dump.get("schema") != RECORDER_SCHEMA:
+            errors.append(f"{at}schema is {dump.get('schema')!r}, "
+                          f"expected {RECORDER_SCHEMA!r}")
+        events = dump.get("events")
+        if not isinstance(events, list):
+            errors.append(f"{at}'events' is not a list")
+            continue
+        recorded = dump.get("recorded")
+        dropped = dump.get("dropped", 0)
+        if not isinstance(recorded, int) or recorded < len(events):
+            errors.append(f"{at}recorded={recorded!r} inconsistent with "
+                          f"{len(events)} event(s)")
+        if not isinstance(dropped, int) or dropped < 0:
+            errors.append(f"{at}dropped={dropped!r} not a non-negative int")
+        prev_t = None
+        for i, ev in enumerate(events):
+            where = f"{at}events[{i}]"
+            if not isinstance(ev, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            if not ev.get("kind"):
+                errors.append(f"{where}: missing 'kind'")
+            t = ev.get("t")
+            if not isinstance(t, (int, float)):
+                errors.append(f"{where}: 't' not numeric: {t!r}")
+                continue
+            if prev_t is not None and t < prev_t:
+                errors.append(f"{where}: t={t} decreases (prev {prev_t})")
+            prev_t = t
+    return errors
+
+
 def main(argv) -> int:
-    if len(argv) != 1:
+    recorder = "--recorder" in argv
+    args = [a for a in argv if a != "--recorder"]
+    if len(args) != 1:
         print(__doc__.strip().splitlines()[-2].strip(), file=sys.stderr)
         return 2
-    errors = check(argv[0])
+    errors = check_recorder(args[0]) if recorder else check(args[0])
     if errors:
         for e in errors:
             print(f"FAIL: {e}", file=sys.stderr)
         return 1
-    print(f"OK: {argv[0]} is a valid Chrome trace")
+    kind = "flight-recorder dump" if recorder else "Chrome trace"
+    print(f"OK: {args[0]} is a valid {kind}")
     return 0
 
 

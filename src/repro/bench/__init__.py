@@ -24,6 +24,7 @@ from .report import (
     format_attribution_merged,
     format_fanout,
     format_series,
+    format_slowlog,
     format_speedups,
     format_table,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "format_attribution_merged",
     "format_fanout",
     "format_series",
+    "format_slowlog",
     "format_speedups",
     "format_table",
     "io500_run",

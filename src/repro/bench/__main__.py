@@ -14,6 +14,12 @@ counters and backoff totals the clients accumulated absorbing them.
 Pass ``--profile`` (or ``--profile=30`` for more rows) to run everything
 under cProfile and print the top functions by cumulative time — the first
 stop when hunting simulator hot spots before reaching for the span tracer.
+
+Observability defaults to the always-on tier: 1% deterministic sampling,
+slow-op log, flight recorder. ``--sample-rate R`` changes the sampling
+rate (``--trace`` implies full tracing and wins); ``--slowlog[=PATH]``
+prints the slow-op table and optionally dumps it as JSON;
+``--flight=PATH`` dumps the flight-recorder ring per kind.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from . import (
     fig7_arkfs_scalability,
     format_attribution_merged,
     format_series,
+    format_slowlog,
     format_table,
     table2_archiving,
 )
@@ -102,6 +109,10 @@ def main(argv) -> None:
     args = []
     trace_path = None
     profile_rows = 0
+    sample_rate = None
+    slowlog_path = None
+    want_slowlog = False
+    flight_path = None
     fault_mode = os.environ.get("REPRO_FAULTS") or None
     it = iter(argv)
     for a in it:
@@ -124,13 +135,31 @@ def main(argv) -> None:
                 profile_rows = int(a.split("=", 1)[1])
             except ValueError:
                 raise SystemExit("--profile=N needs an integer row count")
+        elif a == "--sample-rate" or a.startswith("--sample-rate="):
+            raw = a.split("=", 1)[1] if "=" in a else next(it, None)
+            try:
+                sample_rate = float(raw)
+            except (TypeError, ValueError):
+                raise SystemExit("--sample-rate needs a float in [0, 1]")
+        elif a == "--slowlog":
+            want_slowlog = True
+        elif a.startswith("--slowlog="):
+            want_slowlog = True
+            slowlog_path = a.split("=", 1)[1]
+        elif a.startswith("--flight="):
+            flight_path = a.split("=", 1)[1]
         elif not a.startswith("-"):
             args.append(a)
     if fault_mode not in (None, "transient"):
         raise SystemExit(f"unknown fault mode {fault_mode!r}")
     scale = SMALL if "--small" in argv else DEFAULT
     BENCH_OBS.reset(tracing=trace_path is not None)
+    if sample_rate is not None:
+        BENCH_OBS.sample_rate = sample_rate
     BENCH_OBS.fault_mode = fault_mode
+    if trace_path is not None:
+        print("[--trace: full tracing disables fast-kernel event elision; "
+              "wall-clock times are NOT comparable to untraced runs]")
     targets = args or ["all"]
     if "all" in targets:
         targets = list(TARGETS)
@@ -158,11 +187,32 @@ def main(argv) -> None:
     if trace_path is not None:
         from ..obs import write_chrome_trace
 
-        n = write_chrome_trace(trace_path, BENCH_OBS.tracers())
+        n = write_chrome_trace(trace_path, BENCH_OBS.tracers(),
+                               counters=BENCH_OBS.counter_series())
         attrib = format_attribution_merged(BENCH_OBS.collected)
         if attrib:
             print(attrib)
         print(f"\n[trace: {n} events -> {trace_path}]")
+    if want_slowlog:
+        print(format_slowlog(BENCH_OBS.collected))
+        if slowlog_path is not None:
+            import json
+
+            doc = {kind: obs.slowlog.to_dict()
+                   for kind, obs in BENCH_OBS.collected
+                   if obs.slowlog is not None}
+            with open(slowlog_path, "w") as f:
+                f.write(json.dumps(doc, allow_nan=False))
+            print(f"[slowlog -> {slowlog_path}]")
+    if flight_path is not None:
+        import json
+
+        doc = {kind: obs.recorder.to_dict()
+               for kind, obs in BENCH_OBS.collected
+               if obs.recorder is not None}
+        with open(flight_path, "w") as f:
+            f.write(json.dumps(doc, allow_nan=False))
+        print(f"[flight recorder -> {flight_path}]")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from ..baselines import (
     GoofysParams,
 )
 from ..core import DEFAULT_PARAMS, build_arkfs
-from ..obs import DEFAULT_SAMPLE_INTERVAL, Observability
+from ..obs import DEFAULT_SAMPLE_INTERVAL, Observability, Series
 from ..objectstore.profiles import KiB, MiB, RADOS_PROFILE, S3_PROFILE
 from ..sim.engine import Simulator
 from ..sim.network import NetParams
@@ -100,6 +100,14 @@ class BenchObs:
         self.tracing = False
         self.sampling = True
         self.sample_interval = DEFAULT_SAMPLE_INTERVAL
+        # Always-on tier (PR 7): deterministic per-root-op sampled tracing,
+        # slow-op attribution log, and flight recorder — cheap enough to
+        # ship enabled by default on every harness build. ``tracing`` (the
+        # --trace flag) still means *full* tracing and overrides the rate.
+        self.sample_rate = 0.01
+        self.slowlog = True
+        self.recorder = True
+        self.recorder_capacity = 512
         self.collected = []  # (kind, Observability) in build order
         # Fault-injection mode for arkfs builds: None (default, no shim
         # installed at all — bit-identical results) or "transient"
@@ -117,6 +125,17 @@ class BenchObs:
         return [obs.tracer for _, obs in self.collected
                 if obs.tracer is not None]
 
+    def counter_series(self):
+        """``(pid, label, Series)`` triples for the chrome-trace export's
+        counter tracks, pid-aligned with :meth:`tracers`' span tracks."""
+        out = []
+        for i, (_kind, obs) in enumerate(self.collected):
+            pid = obs.tracer.pid if obs.tracer is not None else i + 1
+            for name, metric in obs.metrics.items():
+                if isinstance(metric, Series) and metric.times:
+                    out.append((pid, name, metric))
+        return out
+
 
 BENCH_OBS = BenchObs()
 
@@ -126,6 +145,13 @@ def _attach_obs(kind: str, sim: Simulator, cluster) -> None:
     obs = Observability.of(sim)
     if BENCH_OBS.tracing:
         obs.enable_tracing(pid=len(BENCH_OBS.collected) + 1, pid_name=kind)
+    elif BENCH_OBS.sample_rate > 0:
+        obs.enable_tracing(pid=len(BENCH_OBS.collected) + 1, pid_name=kind,
+                           sample_rate=BENCH_OBS.sample_rate)
+    if BENCH_OBS.slowlog:
+        obs.enable_slowlog()
+    if BENCH_OBS.recorder:
+        obs.enable_recorder(capacity=BENCH_OBS.recorder_capacity)
     if BENCH_OBS.sampling:
         store = getattr(cluster, "store", None)
         for osd in getattr(store, "osds", ()):

@@ -28,10 +28,22 @@ from ..sim.stats import kernel_counters
 __all__ = ["pingpong", "contended", "compare", "WORKLOADS"]
 
 
-def _run(build: Callable[[Simulator], int],
-         fast: Optional[bool]) -> Dict[str, object]:
-    """Drive one workload to completion and package the measurement."""
+def _run(build: Callable[[Simulator], int], fast: Optional[bool],
+         obs: bool = False) -> Dict[str, object]:
+    """Drive one workload to completion and package the measurement.
+
+    ``obs=True`` installs the always-on observability tier (1% sampled
+    tracing + slow-op log + flight recorder) before running, so the
+    overhead gate in ``benchmarks/test_kernel_speed.py`` can measure its
+    cost on the raw scheduler hot path."""
     sim = Simulator(fast=fast)
+    if obs:
+        from ..obs import Observability
+
+        o = Observability.of(sim)
+        o.enable_tracing(sample_rate=0.01)
+        o.enable_slowlog()
+        o.enable_recorder()
     ops = build(sim)
     t0 = time.perf_counter()
     sim.run()
@@ -45,8 +57,8 @@ def _run(build: Callable[[Simulator], int],
     }
 
 
-def pingpong(n_ops: int = 20_000,
-             fast: Optional[bool] = None) -> Dict[str, object]:
+def pingpong(n_ops: int = 20_000, fast: Optional[bool] = None,
+             obs: bool = False) -> Dict[str, object]:
     """Zero-latency-hop RPC ping-pong: ``n_ops`` echo RPCs a -> b."""
 
     def build(sim: Simulator) -> int:
@@ -68,11 +80,12 @@ def pingpong(n_ops: int = 20_000,
         sim.process(client())
         return n_ops
 
-    return _run(build, fast)
+    return _run(build, fast, obs=obs)
 
 
 def contended(n_ops: int = 40_000, procs: int = 4,
-              fast: Optional[bool] = None) -> Dict[str, object]:
+              fast: Optional[bool] = None,
+              obs: bool = False) -> Dict[str, object]:
     """``procs`` workers sharing a capacity-2 resource.
 
     Every 8th acquisition holds for a microsecond — a timed heap event
@@ -95,7 +108,7 @@ def contended(n_ops: int = 40_000, procs: int = 4,
             sim.process(worker(k))
         return per * procs
 
-    return _run(build, fast)
+    return _run(build, fast, obs=obs)
 
 
 WORKLOADS: Dict[str, Callable[..., Dict[str, object]]] = {

@@ -9,7 +9,7 @@ from ..obs.metrics import Counter, Gauge, MetricsRegistry
 
 __all__ = ["format_table", "format_series", "format_speedups",
            "format_fanout", "merge_attributions",
-           "format_attribution_merged"]
+           "format_attribution_merged", "format_slowlog"]
 
 LABELS = {
     "arkfs": "ArkFS",
@@ -169,6 +169,43 @@ def merge_attributions(parts: Sequence[Dict[str, Dict[str, Any]]]
             for cat, sec in row["by_cat"].items():
                 dst["by_cat"][cat] = dst["by_cat"].get(cat, 0.0) + sec
     return out
+
+
+def format_slowlog(collected, max_entries: int = 5) -> str:
+    """Slow-op tables for a bench run, one per build that logged any.
+
+    ``collected`` is ``BENCH_OBS.collected``; each entry line shows when
+    the op started, how long it took, why it was logged (static threshold
+    or rolling p99), and — when the op was sampled — the phase-attributed
+    waterfall of where its time went."""
+    out = []
+    for kind, obs in collected:
+        log = obs.slowlog
+        if log is None or not log.n_slow:
+            continue
+        doc = log.to_dict(max_entries=max_entries)
+        out.append(f"slow ops — {_label(kind)} "
+                   f"(threshold {doc['default_threshold_s'] * 1e3:.0f}ms, "
+                   f"{doc['n_slow']} logged)")
+        for op, row in doc["ops"].items():
+            if not row["slow"]:
+                continue
+            out.append(f"  {op:<14} count={row['count']} "
+                       f"p50={row['p50_s'] * 1e3:.2f}ms "
+                       f"p99={row['p99_s'] * 1e3:.2f}ms "
+                       f"max={row['max_s'] * 1e3:.2f}ms")
+            for e in row["slow"]:
+                line = (f"    @{e['start_s']:.3f}s {e['dur_s'] * 1e3:8.2f}ms "
+                        f"[{e['why']}]")
+                wf = e.get("waterfall_s")
+                if wf:
+                    line += "  " + " ".join(
+                        f"{cat}={sec * 1e3:.2f}ms"
+                        for cat, sec in wf.items())
+                out.append(line)
+    if not out:
+        return "slow ops: none logged"
+    return "\n".join(out)
 
 
 def format_attribution_merged(collected) -> str:

@@ -266,6 +266,10 @@ class DataObjectCache:
             # The chunk outgrew the threshold: any packed copy is stale now.
             self._pack.note_plain_write(ino, entry.index)
         self._c_flushes.inc()
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.record("cache.writeback", ino=ino, idx=entry.index,
+                       bytes=entry.size)
 
     def _writeback_batch(self, pairs) -> SimGen:
         """Write a batch of dirty ``(ino, entry)`` pairs back concurrently

@@ -80,6 +80,10 @@ class FileLeaseService:
                 continue
             if mode == WRITE and ino is not None:
                 self.stats["revocations"] += 1
+                rec = self.sim._recorder
+                if rec is not None:
+                    rec.record("lease.revoke", ino=ino, holder=c,
+                               expired=True)
                 try:
                     yield from self.revoke_cb(c, ino)
                 except NodeDown:
@@ -92,10 +96,14 @@ class FileLeaseService:
 
     def _revoke_all(self, st: _FileState, ino: int, but: str,
                     deleted: bool = False) -> SimGen:
+        rec = self.sim._recorder
         for holder in list(st.holders):
             if holder == but:
                 continue
             self.stats["revocations"] += 1
+            if rec is not None:
+                rec.record("lease.revoke", ino=ino, holder=holder,
+                           deleted=deleted)
             try:
                 yield from self.revoke_cb(holder, ino, deleted)
             except NodeDown:

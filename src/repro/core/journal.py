@@ -404,6 +404,10 @@ class JournalManager:
         dj.pending_seqs.append(seq)
         dj.ops_committed = covered
         self._c_commits.inc()
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.record("journal.commit", dir=dj.dir_ino, seq=seq,
+                       ops=len(ops))
         self._checkpoint_txns[(dj.dir_ino, seq)] = txn
 
     def _checkpoint_locked(self, dj: _DirJournal) -> SimGen:

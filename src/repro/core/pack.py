@@ -328,6 +328,9 @@ class PackWriter:
                                for ino, idx in had_plain),
                         src=self.node)
                 self._c_seals.inc()
+                rec = self.sim._recorder
+                if rec is not None:
+                    rec.record("pack.seal", pack=pack_id, bytes=len(data))
             finally:
                 sp.close()
         finally:
@@ -497,6 +500,9 @@ class PackWriter:
             yield from self.prt._purge([self.prt.key_pack(pack_id)],
                                        src=self.node)
             self._c_compactions.inc()
+            rec = self.sim._recorder
+            if rec is not None:
+                rec.record("pack.compact", pack=pack_id, moved=moved)
             self._c_compacted_bytes.inc(moved)
             self._c_containers_purged.inc()
             self._c_reclaimed_bytes.inc(max(0, len(data) - moved))

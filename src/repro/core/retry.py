@@ -56,6 +56,9 @@ class RetryPolicy:
         whole-op redispatch on TransientError) in the shared metrics."""
         self._c_attempts.inc()
         self._h_backoff.observe(delay)
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.record("store.retry", delay=delay)
 
     def call(self, factory: Callable[[], SimGen],
              retry_on: Tuple[Type[BaseException], ...] = (TransientError,)
@@ -70,11 +73,16 @@ class RetryPolicy:
             try:
                 return (yield from factory())
             except retry_on:
+                rec = self.sim._recorder
                 if attempt >= self.limit:
                     self._c_giveups.inc()
+                    if rec is not None:
+                        rec.record("store.retry.giveup", attempts=attempt + 1)
                     raise
                 self._c_attempts.inc()
                 self._h_backoff.observe(delay)
+                if rec is not None:
+                    rec.record("store.retry", attempt=attempt + 1, delay=delay)
                 yield self.sim.timeout(delay)
                 delay = min(delay * 2.0, self.cap)
         raise AssertionError("unreachable")

@@ -42,6 +42,7 @@ catching it.
 from __future__ import annotations
 
 import argparse
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -49,6 +50,7 @@ from ..core import build_arkfs
 from ..core.fsck import fsck
 from ..core.params import ArkFSParams, DEFAULT_PARAMS, KiB
 from ..core.recovery import recover_directory
+from ..obs import Observability
 from ..posix import ROOT_CREDS
 from ..posix.vfs import SyncFS
 from ..sim.engine import SimGen, Simulator
@@ -378,6 +380,9 @@ class CrashPointResult:
     fired: bool                # did the crash actually trigger?
     completed_steps: int
     violations: List[str] = field(default_factory=list)
+    # Flight-recorder dump captured when violations were found (the last
+    # ~512 structured events before/around the failure), else None.
+    flight: Optional[dict] = None
 
 
 @dataclass
@@ -421,6 +426,11 @@ class _StepWedged(Exception):
 def _build(bug: Optional[str] = None,
            params: Optional[ArkFSParams] = None):
     sim = Simulator()
+    # Flight recorder from the start: when a crash point finds a violation,
+    # its result carries the recent event ring (fault injections, journal
+    # commits, lease revocations, ...) so the failure is diagnosable from
+    # the report alone. Recording never perturbs simulated outcomes.
+    Observability.of(sim).enable_recorder()
     plan = FaultPlan()
     plan.disarm()
     cluster = build_arkfs(sim, n_clients=2, functional=True, seed=0,
@@ -556,9 +566,14 @@ def check_point(workload: Workload, k: int, milestones: List[int],
             violations.append(f"invariant check errored: {exc!r}")
 
     violations.extend(plan.violations)
+    flight = None
+    if violations:
+        rec = sim._recorder
+        if rec is not None:
+            flight = rec.to_dict()
     return CrashPointResult(index=k, fired=plan.crashed,
                             completed_steps=completed,
-                            violations=violations)
+                            violations=violations, flight=flight)
 
 
 def _walk(fs: SyncFS, path: str) -> None:
@@ -619,10 +634,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--bug", choices=sorted(SEEDED_BUGS), default=None,
                     help="seed a deliberate recovery bug (the sweep "
                          "should then FAIL)")
+    ap.add_argument("--flight", default="crashcheck_flight.json",
+                    metavar="PATH",
+                    help="where to write flight-recorder dumps of failing "
+                         "crash points (default: %(default)s)")
     args = ap.parse_args(argv)
     report = sweep(args.workload, stride=args.stride, limit=args.limit,
                    bug=args.bug, progress=lambda msg: print(f"  {msg}"))
     print(report.summary())
+    if not report.ok and args.flight:
+        dumps = [{"crash_at_op": r.index, "flight": r.flight}
+                 for r in report.points if r.violations]
+        with open(args.flight, "w") as f:
+            f.write(json.dumps(
+                {"workload": report.workload, "points": dumps},
+                allow_nan=False))
+        print(f"  flight-recorder dumps of {len(dumps)} failing point(s) "
+              f"written to {args.flight}")
     return 0 if report.ok else 1
 
 

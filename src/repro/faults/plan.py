@@ -110,6 +110,7 @@ class FaultPlan:
         self.violations: List[str] = []
 
         self._metrics = None  # bound lazily in attach()
+        self._sim = None      # bound in attach(); feeds the flight recorder
 
     # -- configuration helpers ------------------------------------------------
 
@@ -162,6 +163,7 @@ class FaultPlan:
         """Bind fault counters into the sim-wide metrics registry."""
         from ..obs import Observability
 
+        self._sim = sim
         m = Observability.of(sim).metrics.scope("faults")
         self._metrics = {
             "crashes": m.counter("crashes"),
@@ -175,16 +177,27 @@ class FaultPlan:
         if self._metrics is not None:
             self._metrics[what].inc()
 
+    def _record(self, kind: str, **fields) -> None:
+        """Feed the flight recorder, when one is installed on the sim."""
+        sim = self._sim
+        if sim is not None:
+            rec = sim._recorder
+            if rec is not None:
+                rec.record(kind, **fields)
+
     # -- hooks (called from the wrappers) ---------------------------------------
 
     def _fire_crash(self, kind: str, key: str) -> None:
         self.crashed = True
         self._count("crashes")
+        self._record("fault.crash", victim=self.crash_victim,
+                     at_op=self.victim_ops, op=kind, key=key)
         if self.crash_handler is not None:
             self.crash_handler()
 
     def _transient(self, kind: str, key: str, why: str) -> None:
         self._count("transient")
+        self._record("fault.transient", op=kind, key=key, why=why)
         raise TransientError(f"injected transient on {kind} {key!r} ({why})")
 
     def before_op(self, kind: str, key: str, src) -> None:
@@ -232,7 +245,10 @@ class FaultPlan:
         if (self.batch_put_fail_at is not None
                 and self.batches_seen == self.batch_put_fail_at):
             self._count("batch_partial")
-            return min(self.batch_put_apply, n_items)
+            applied = min(self.batch_put_apply, n_items)
+            self._record("fault.batch_partial", batch=self.batches_seen,
+                         applied=applied, items=n_items)
+            return applied
         return None
 
     def on_message(self, src_name: str, dst_name: str,
@@ -244,6 +260,8 @@ class FaultPlan:
             act = rule.matches(src_name, dst_name)
             if act is not None:
                 self._count("msg_dropped" if act[0] == "drop" else "msg_delayed")
+                self._record("fault.msg_" + act[0], src=src_name,
+                             dst=dst_name, delay=act[1])
                 return act
         return None
 

@@ -28,17 +28,34 @@ from .export import (
     attribute_latency,
     chrome_trace_events,
     format_attribution,
+    root_waterfalls,
     write_chrome_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
-from .trace import NULL_SPAN, ROOT_CAT, Span, SpanTracer, span, wrap
+from .recorder import RECORDER_SCHEMA, FlightRecorder
+from .slowlog import SLOWLOG_SCHEMA, SlowOpLog
+from .trace import (
+    NULL_SPAN,
+    ROOT_CAT,
+    RootOpObserver,
+    Span,
+    SpanTracer,
+    is_sampled,
+    sample_threshold,
+    span,
+    wrap,
+)
 
 __all__ = [
     "Observability",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "Series",
     "SpanTracer", "Span", "span", "wrap", "NULL_SPAN", "ROOT_CAT",
+    "RootOpObserver", "sample_threshold", "is_sampled",
+    "SlowOpLog", "SLOWLOG_SCHEMA",
+    "FlightRecorder", "RECORDER_SCHEMA",
     "chrome_trace_events", "write_chrome_trace",
-    "attribute_latency", "format_attribution", "PRIMITIVE_CATS",
+    "attribute_latency", "root_waterfalls",
+    "format_attribution", "PRIMITIVE_CATS",
 ]
 
 #: Default sampling period for queue-depth/utilization series (sim seconds).
@@ -52,6 +69,10 @@ class Observability:
         self.sim = sim
         self.metrics = MetricsRegistry()
         self.tracer: Optional[SpanTracer] = None
+        self.sample_rate = 0.0   # 1.0 = full tracing, 0 < r < 1 = sampled
+        self.slowlog: Optional[SlowOpLog] = None
+        self.recorder: Optional[FlightRecorder] = None
+        self._op_observer: Optional[RootOpObserver] = None
         self._sampled: List[Tuple[str, object]] = []
         self._sampling = False
 
@@ -66,16 +87,78 @@ class Observability:
 
     # -- tracing -------------------------------------------------------------
 
-    def enable_tracing(self, pid: int = 1,
-                       pid_name: str = "sim") -> SpanTracer:
+    def enable_tracing(self, pid: int = 1, pid_name: str = "sim",
+                       sample_rate: float = 1.0) -> SpanTracer:
+        """Install a span tracer.
+
+        ``sample_rate >= 1`` is *full* tracing: every span site is active
+        (``sim._tracer`` set globally), exactly the pre-sampling behavior.
+        ``0 < sample_rate < 1`` is *sampled* tracing: the tracer goes in as
+        ``sim._sample_tracer`` and only root ops picked by the
+        deterministic hash (and their child processes) see a non-``None``
+        ``sim._tracer``. Idempotent: an already-installed tracer is never
+        replaced (in particular a full tracer is never downgraded to a
+        sampled one by a later default-rate call).
+        """
         if self.tracer is None:
             self.tracer = SpanTracer(self.sim, pid=pid, pid_name=pid_name)
-            self.sim._tracer = self.tracer
+            if sample_rate >= 1.0:
+                self.sample_rate = 1.0
+                self.sim._tracer = self.tracer
+            else:
+                self.sample_rate = float(sample_rate)
+                ob = self._ensure_op_observer()
+                ob.tracer = self.tracer
+                ob.rate = self.sample_rate
+                ob.threshold = sample_threshold(self.sample_rate)
+                self.sim._sample_tracer = self.tracer
+        if self.slowlog is not None:
+            self.slowlog.tracer = self.tracer
         return self.tracer
 
     def disable_tracing(self) -> None:
         self.sim._tracer = None
+        self.sim._sample_tracer = None
         self.tracer = None
+        self.sample_rate = 0.0
+        ob = self._op_observer
+        if ob is not None:
+            ob.tracer = None
+            ob.threshold = 0
+            ob.rate = 0.0
+
+    # -- slow-op log / flight recorder ----------------------------------------
+
+    def enable_slowlog(self, **kwargs) -> SlowOpLog:
+        """Install the slow-op log (idempotent; kwargs → SlowOpLog)."""
+        if self.slowlog is None:
+            self.slowlog = SlowOpLog(self.sim, **kwargs)
+            self._ensure_op_observer().slowlog = self.slowlog
+        # Waterfalls need whichever tracer is live (full or sampled).
+        self.slowlog.tracer = self.tracer
+        return self.slowlog
+
+    def enable_recorder(self, capacity: Optional[int] = None
+                        ) -> FlightRecorder:
+        """Install the flight recorder (idempotent) as ``sim._recorder``."""
+        if self.recorder is None:
+            if capacity is None:
+                self.recorder = FlightRecorder(self.sim)
+            else:
+                self.recorder = FlightRecorder(self.sim, capacity=capacity)
+            self.sim._recorder = self.recorder
+            self._ensure_op_observer().recorder = self.recorder
+        return self.recorder
+
+    def _ensure_op_observer(self) -> RootOpObserver:
+        ob = self._op_observer
+        if ob is None:
+            ob = RootOpObserver(self.sim,
+                                self.metrics.counter("obs.root_ops"),
+                                self.metrics.counter("obs.sampled_ops"))
+            self._op_observer = ob
+            self.sim._obs_ops = ob
+        return ob
 
     # -- periodic resource sampling ------------------------------------------
 

@@ -29,6 +29,7 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "attribute_latency",
+    "root_waterfalls",
     "format_attribution",
 ]
 
@@ -39,8 +40,21 @@ PRIMITIVE_CATS = ("cpu", "net", "queue", "svc", "media", "fuse")
 # -- Chrome trace-event JSON --------------------------------------------------
 
 
-def chrome_trace_events(tracers: Iterable[SpanTracer]) -> List[dict]:
+def chrome_trace_events(
+        tracers: Iterable[SpanTracer],
+        counters: Optional[Iterable[Tuple[int, str, Any]]] = None,
+) -> List[dict]:
+    """Build the trace-event list: ``M`` metadata, ``X`` complete events,
+    ``s``/``f`` flow arrows for cross-thread parent/child edges, and
+    (optionally) ``C`` counter tracks from ``(pid, name, Series)`` triples.
+
+    Spans still open when the simulation ended are not in ``tracer.spans``
+    and are therefore omitted — the export never invents an end time. A
+    closed child whose parent is such an open span still exports; only the
+    flow arrow is dropped (there is no parent-side timestamp to anchor it).
+    """
     events: List[dict] = []
+    flow_id = 0
     for tracer in tracers:
         pid = tracer.pid
         events.append({"ph": "M", "name": "process_name", "pid": pid,
@@ -67,12 +81,37 @@ def chrome_trace_events(tracers: Iterable[SpanTracer]) -> List[dict]:
             if args:
                 ev["args"] = args
             events.append(ev)
+            p = s.parent
+            if p is None or p.tid == s.tid or p.end is None:
+                continue
+            # Cross-thread edge: a flow arrow from the parent span to the
+            # child's start. In a fan-out the parent may close before the
+            # child even starts; clamp the parent-side timestamp into the
+            # parent's own interval (and at or before the child-side one)
+            # so the arrow stays well-formed either way.
+            flow_id += 1
+            ts_f = s.start
+            ts_s = min(max(ts_f, p.start), p.end)
+            events.append({"ph": "s", "id": flow_id, "name": s.name,
+                           "cat": "flow", "pid": pid, "tid": p.tid,
+                           "ts": round(ts_s * 1e6, 3)})
+            events.append({"ph": "f", "bp": "e", "id": flow_id,
+                           "name": s.name, "cat": "flow", "pid": pid,
+                           "tid": s.tid, "ts": round(ts_f * 1e6, 3)})
+    if counters:
+        for pid, name, series in counters:
+            for t, v in zip(series.times, series.values):
+                events.append({"ph": "C", "name": name, "pid": pid,
+                               "tid": 0, "ts": round(t * 1e6, 3),
+                               "args": {"value": v}})
     return events
 
 
-def write_chrome_trace(path: str, tracers: Iterable[SpanTracer]) -> int:
+def write_chrome_trace(
+        path: str, tracers: Iterable[SpanTracer],
+        counters: Optional[Iterable[Tuple[int, str, Any]]] = None) -> int:
     """Write a Perfetto-loadable trace; returns the number of events."""
-    events = chrome_trace_events(tracers)
+    events = chrome_trace_events(tracers, counters=counters)
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
     # allow_nan=False: a NaN/Infinity would produce non-standard JSON that
     # Perfetto rejects — fail loudly here instead.
@@ -156,6 +195,33 @@ def attribute_latency(tracer: SpanTracer) -> Dict[str, Dict[str, Any]]:
         row["attributed_s"] += covered
         row["unattributed_s"] += dur - covered
     return out
+
+
+def root_waterfalls(tracer: SpanTracer,
+                    roots: Iterable[Span]) -> Dict[int, Dict[str, float]]:
+    """Per-category clipped-union seconds for specific root spans.
+
+    Returns ``{id(root): {cat: seconds}}`` for each requested root that
+    has at least one primitive descendant — the single-op analogue of
+    :func:`attribute_latency`, used by the slow-op log to say where one
+    slow operation's time went. One pass over the tracer's closed spans
+    regardless of how many roots are asked for.
+    """
+    primitive = set(PRIMITIVE_CATS)
+    want = {id(r) for r in roots}
+    per_root: Dict[int, Dict[str, List[Tuple[float, float]]]] = {}
+    for s in tracer.spans:
+        if s.end is None or s.cat not in primitive:
+            continue
+        r = _top_root(s)
+        if r is None or id(r) not in want or r.end is None:
+            continue
+        a, b = max(s.start, r.start), min(s.end, r.end)
+        if b <= a:
+            continue
+        per_root.setdefault(id(r), {}).setdefault(s.cat, []).append((a, b))
+    return {rid: {cat: _union(ivs) for cat, ivs in cats.items()}
+            for rid, cats in per_root.items()}
 
 
 def format_attribution(title: str,

@@ -106,20 +106,42 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
-        self._counts[self._index(v)] += 1
+        # _index() inlined: observe is on the per-root-op hot path of the
+        # always-on slow-op log, where the method-call overhead shows.
+        if v <= 1e-9:  # Histogram.LO
+            i = 0
+        else:
+            i = int((math.log10(v) - Histogram._LOG_LO)
+                    * Histogram.PER_DECADE)
+            n = len(self._counts) - 1
+            if i > n:
+                i = n
+            elif i < 0:
+                i = 0
+        self._counts[i] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Interpolated percentile (0..100); exact at the min/max edges."""
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile, ``q`` in ``[0, 1]``.
+
+        O(#buckets) scan of the fixed log-spaced bucket counts — no raw
+        series is kept or consulted, so the cost is independent of how
+        many values were observed. Exact at both edges: ``quantile(0)``
+        is the tracked min and ``quantile(1)`` the tracked max, even when
+        observations clamped into the edge buckets; interior quantiles
+        interpolate within their bucket and are clamped to ``[min, max]``
+        (which keeps the result monotone in ``q``)."""
         if not self.count:
             return 0.0
-        if q >= 100.0:
+        if q >= 1.0:
             # Exact even when the max clamped into the top bucket.
             return self.max
-        rank = q / 100.0 * self.count
+        if q <= 0.0:
+            return self.min
+        rank = q * self.count
         cum = 0
         for i, n in enumerate(self._counts):
             if not n:
@@ -132,6 +154,42 @@ class Histogram:
                 return max(self.min, min(self.max, v))
             cum += n
         return self.max
+
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile (0..100); exact at the min/max edges."""
+        return self.quantile(q / 100.0)
+
+    def quantile_upper(self, q: float) -> float:
+        """Conservative quantile upper bound for trigger comparisons.
+
+        The quantile is only known to bucket resolution, so this returns
+        a boundary strictly above everything in the rank's bucket *plus
+        one bucket of slack* (~12% with the default 20-per-decade
+        spacing): a strict ``>`` test against it cannot fire on bucket
+        quantization or float jitter at a bucket edge, while genuinely
+        distant tail values still clear it easily. This is what makes it
+        the right trigger for the slow-op log's rolling-p99 rule —
+        uniform latencies never self-log. Returns ``inf`` when the rank
+        lands at the top of the bucket range (the static threshold still
+        applies there)."""
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        rank = q * self.count
+        cum = 0
+        for i, n in enumerate(self._counts):
+            if not n:
+                continue
+            cum += n
+            if cum >= rank:
+                # _index() floors, so bucket i spans [BOUNDS[i],
+                # BOUNDS[i+1]); +1 more bucket is the jitter slack.
+                j = i + 2
+                if j < len(Histogram.BOUNDS):
+                    return Histogram.BOUNDS[j]
+                return math.inf
+        return math.inf
 
     def to_dict(self) -> Dict[str, Any]:
         return {

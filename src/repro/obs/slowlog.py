@@ -1,0 +1,177 @@
+"""Slow-op log: bounded record of the slowest root operations.
+
+Every root (VFS) operation's simulated latency is observed into a per-op-
+type log-bucketed histogram; an op is logged as *slow* when it exceeds
+either a static per-op-type threshold or the rolling p99 of its type
+(once enough samples exist for the percentile to mean anything). Only the
+``keep`` slowest entries per op type are retained, so memory is bounded
+regardless of run length.
+
+When sampled tracing is active, a slow op that happened to be sampled
+carries its root span, and :meth:`SlowOpLog.to_dict` attaches a
+*phase-attributed waterfall* — per-category (cpu/net/queue/svc/media/...)
+clipped-union seconds, computed lazily from the tracer's spans via the
+PR 2 attribution machinery — so the dump answers "where did this slow
+op's time go?", not just "it was slow". Unsampled slow ops still log
+their latency and rank; they simply have no waterfall.
+
+The hot-path cost per root op is one histogram observe plus two float
+compares; entries are only allocated for ops that qualify as slow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from .metrics import Histogram
+
+__all__ = ["SlowOpLog", "SLOWLOG_SCHEMA"]
+
+SLOWLOG_SCHEMA = "arkfs-slowlog-v1"
+
+#: Default static threshold (simulated seconds): any op slower than this
+#: is always logged, even before its histogram has enough samples.
+DEFAULT_THRESHOLD_S = 0.050
+
+#: Samples of an op type needed before the rolling p99 triggers entries.
+DEFAULT_MIN_COUNT = 64
+
+#: Slowest entries retained per op type.
+DEFAULT_KEEP = 32
+
+
+class SlowOpLog:
+    """Per-op-type latency histograms plus a bounded slowest-K log."""
+
+    __slots__ = ("sim", "default_threshold", "thresholds", "min_count",
+                 "keep", "tracer", "n_slow", "_hists", "_ops", "_slow",
+                 "_seq")
+
+    #: Recompute the cached p99 trigger bound every this many observations
+    #: of an op type (power of two; the per-op fast path masks against
+    #: ``_P99_REFRESH - 1``). The rolling p99 moves slowly, the bound
+    #: carries a bucket of slack, and the refresh schedule depends only on
+    #: the observation count — so the amortization changes nothing about
+    #: which runs log which ops, it only keeps the O(#buckets) quantile
+    #: scan off the per-op hot path.
+    _P99_REFRESH = 32
+
+    def __init__(self, sim, default_threshold: float = DEFAULT_THRESHOLD_S,
+                 thresholds: Optional[Dict[str, float]] = None,
+                 min_count: int = DEFAULT_MIN_COUNT,
+                 keep: int = DEFAULT_KEEP):
+        self.sim = sim
+        self.default_threshold = default_threshold
+        self.thresholds = dict(thresholds or {})  # per-op-type overrides
+        self.min_count = min_count
+        self.keep = keep
+        self.tracer = None     # set when a tracer runs alongside
+        self.n_slow = 0        # total slow entries observed (incl. evicted)
+        self._hists: Dict[str, Histogram] = {}
+        # op -> [histogram, resolved threshold, cached p99 upper bound];
+        # one dict hit per observe instead of three.
+        self._ops: Dict[str, list] = {}
+        # op -> min-heap of (dur, seq, entry-dict, root-span) keeping the
+        # ``keep`` slowest; seq breaks duration ties deterministically.
+        self._slow: Dict[str, List[tuple]] = {}
+        self._seq = 0
+
+    # -- hot path -----------------------------------------------------------
+
+    def observe(self, op: str, start: float, end: float, ok: bool,
+                root) -> None:
+        """Record one finished root op; log it if slow. ``root`` is the
+        op's root span when it was sampled (else None)."""
+        dur = end - start
+        ent = self._ops.get(op)
+        if ent is None:
+            h = Histogram(op)
+            self._hists[op] = h
+            # The p99 bound starts at +inf: the rolling trigger is inert
+            # until the first refresh, at the first multiple of
+            # ``_P99_REFRESH`` observations on or after ``min_count``.
+            ent = self._ops[op] = [
+                h, self.thresholds.get(op, self.default_threshold), math.inf]
+        else:
+            h = ent[0]
+        why = None
+        if dur >= ent[1]:
+            why = "threshold"
+        elif dur > ent[2]:
+            # Judged against a cached bound over *prior* ops (observe
+            # comes after), so a lone tail value is compared to history,
+            # not to itself; the bucket-upper-bound quantile means uniform
+            # latencies (even float-jittered across a bucket edge) log
+            # nothing, while genuine tail events always do.
+            why = "p99"
+        h.observe(dur)
+        n = h.count
+        if n >= self.min_count and not (n & (SlowOpLog._P99_REFRESH - 1)):
+            ent[2] = h.quantile_upper(0.99)
+        if why is None:
+            return
+        self.n_slow += 1
+        entry = {"op": op, "start_s": start, "dur_s": dur, "why": why,
+                 "ok": ok, "sampled": root is not None}
+        self._seq += 1
+        heap = self._slow.setdefault(op, [])
+        item = (dur, self._seq, entry, root)
+        if len(heap) < self.keep:
+            heapq.heappush(heap, item)
+        elif dur > heap[0][0]:
+            heapq.heapreplace(heap, item)
+
+    # -- reporting ----------------------------------------------------------
+
+    def to_dict(self, max_entries: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-safe dump: per-op-type latency summary + slowest entries,
+        with per-category waterfalls for the entries that were sampled."""
+        waterfalls: Dict[int, Dict[str, float]] = {}
+        if self.tracer is not None:
+            from .export import root_waterfalls
+
+            roots = [item[3] for heap in self._slow.values()
+                     for item in heap if item[3] is not None]
+            if roots:
+                waterfalls = root_waterfalls(self.tracer, roots)
+        ops: Dict[str, Any] = {}
+        for op in sorted(self._hists):
+            h = self._hists[op]
+            items = sorted(self._slow.get(op, ()),
+                           key=lambda it: (-it[0], it[1]))
+            if max_entries is not None:
+                items = items[:max_entries]
+            slow = []
+            for _dur, _seq, entry, root in items:
+                entry = dict(entry)
+                wf = waterfalls.get(id(root)) if root is not None else None
+                if wf is not None:
+                    entry["waterfall_s"] = {c: round(s, 9)
+                                            for c, s in sorted(wf.items())}
+                slow.append(entry)
+            ops[op] = {
+                "count": h.count,
+                "mean_s": h.mean,
+                "p50_s": h.quantile(0.50),
+                "p99_s": h.quantile(0.99),
+                "max_s": h.max,
+                "slow": slow,
+            }
+        return {
+            "schema": SLOWLOG_SCHEMA,
+            "default_threshold_s": self.default_threshold,
+            "min_count": self.min_count,
+            "keep": self.keep,
+            "n_slow": self.n_slow,
+            "ops": ops,
+        }
+
+    def dump(self, path: str, max_entries: Optional[int] = None) -> int:
+        """Write the slow-op log as JSON; returns the entry count."""
+        doc = self.to_dict(max_entries=max_entries)
+        with open(path, "w") as f:
+            f.write(json.dumps(doc, allow_nan=False))
+        return sum(len(row["slow"]) for row in doc["ops"].values())

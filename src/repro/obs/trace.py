@@ -16,6 +16,13 @@ With tracing disabled (``sim._tracer is None``, the default) instrumented
 hot paths pay a single attribute check; the :func:`span` helper returns a
 shared no-op context manager, so no span objects are allocated at all.
 
+*Sampled* tracing sits between the two: the tracer is installed as
+``sim._sample_tracer`` and a deterministic per-root-op hash decides which
+operations trace (:class:`RootOpObserver`). ``Process._step`` then makes
+``sim._tracer`` context-local — non-``None`` exactly while stepping a
+process inside a sampled op — so sampled ops get full spans and real
+(elision-free) events while every other op keeps the untraced fast path.
+
 Parenting across fan-outs: the engine records which process spawned which
 (:attr:`Process.parent_proc`) and which process is currently being stepped
 (:attr:`Simulator._active_proc`). A span opened in a process whose own
@@ -28,12 +35,32 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Span", "SpanTracer", "span", "wrap", "NULL_SPAN", "ROOT_CAT"]
+__all__ = ["Span", "SpanTracer", "span", "wrap", "NULL_SPAN", "ROOT_CAT",
+           "RootOpObserver", "sample_threshold", "is_sampled"]
 
 #: Category that marks operation root spans (one per VFS op).
 ROOT_CAT = "vfs"
 
 _MISSING = object()
+
+# -- deterministic per-op sampling --------------------------------------------
+
+#: Knuth's multiplicative-hash constant (2^32 / phi): maps sequential op
+#: ids to a low-discrepancy sequence over [0, 2^32), so comparing the hash
+#: against ``rate * 2^32`` samples an evenly spread, *deterministic* subset
+#: of operations — the same ops every run, independent of timing.
+_HASH_MULT = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+def sample_threshold(rate: float) -> int:
+    """The 32-bit threshold below which a hashed op id counts as sampled."""
+    return max(0, min(1 << 32, int(float(rate) * float(1 << 32))))
+
+
+def is_sampled(opid: int, threshold: int) -> bool:
+    """The sampling decision for root-op ``opid`` (deterministic)."""
+    return ((opid * _HASH_MULT) & _HASH_MASK) < threshold
 
 
 class _NullSpan:
@@ -201,3 +228,108 @@ def wrap(sim, gen, name: str, cat: str = ""):
     if tr is None:
         return gen
     return tr.wrap(name, gen, cat)
+
+
+class RootOpObserver:
+    """The per-root-op pipeline behind always-on observability.
+
+    Installed as ``sim._obs_ops`` (by :class:`repro.obs.Observability`)
+    when any of sampled tracing, the slow-op log, or the flight recorder is
+    enabled; the mount layer's VFS-op wrapper then routes every root
+    operation through :meth:`observe` instead of the plain span wrapper.
+
+    Sampling contract: each root op draws a sequential id and is sampled
+    iff ``hash(id) < rate * 2^32`` (see :func:`is_sampled`) — a
+    deterministic decision, so two runs of the same workload sample the
+    same ops. A sampled op sets the current process's ``trace_on`` bit for
+    its duration (spawned children inherit it), which makes
+    ``sim._tracer`` context-local via ``Process._step``: every span and
+    elision site below keeps its single attribute check, pays the trace /
+    elision cost only inside sampled ops, and unsampled ops keep the full
+    PR 6 fast path. Spans never schedule events and the elision
+    short-circuits are order-preserving, so simulated results are
+    bit-identical with sampling on or off.
+    """
+
+    __slots__ = ("sim", "tracer", "threshold", "rate", "slowlog", "recorder",
+                 "_c_root", "_c_sampled")
+
+    def __init__(self, sim, c_root, c_sampled):
+        self.sim = sim
+        self.tracer: Optional[SpanTracer] = None  # sampling tracer
+        self.threshold = 0
+        self.rate = 0.0
+        self.slowlog = None       # repro.obs.slowlog.SlowOpLog
+        self.recorder = None      # repro.obs.recorder.FlightRecorder
+        self._c_root = c_root         # Counter: obs.root_ops
+        self._c_sampled = c_sampled   # Counter: obs.sampled_ops
+
+    @property
+    def n_root(self) -> int:
+        return self._c_root.value
+
+    @property
+    def n_sampled(self) -> int:
+        return self._c_sampled.value
+
+    def expected_sampled(self) -> int:
+        """Exactly how many of the ops seen so far the hash samples."""
+        t = self.threshold
+        return sum(1 for i in range(self._c_root.value) if is_sampled(i, t))
+
+    def observe(self, name: str, gen):
+        """Drive one root-op generator under sampling/slowlog/recorder."""
+        sim = self.sim
+        c = self._c_root
+        opid = c.value
+        c.value = opid + 1
+        tr = self.tracer
+        span = None
+        proc = None
+        prev = False
+        if tr is not None:
+            if ((opid * _HASH_MULT) & _HASH_MASK) < self.threshold:
+                self._c_sampled.value += 1
+                proc = sim._active_proc
+                if proc is not None:
+                    prev = proc.trace_on
+                    proc.trace_on = True
+                sim._tracer = tr
+                span = tr.span(name, ROOT_CAT, op=opid)
+        else:
+            ftr = sim._tracer
+            if ftr is not None:
+                # Full (unsampled) tracing installed alongside slowlog /
+                # recorder: open the root span exactly as the plain
+                # wrapper would.
+                span = ftr.span(name, ROOT_CAT)
+        rec = self.recorder
+        if rec is not None:
+            # FlightRecorder.record() inlined (here and for op.end): these
+            # two appends run for every root op, where the call overhead
+            # is measurable against the 5% always-on budget.
+            rec.recorded += 1
+            rec.events.append((sim.now, "op.start",
+                               {"op": name, "id": opid,
+                                "sampled": span is not None}))
+        start = sim.now
+        ok = True
+        try:
+            return (yield from gen)
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            end = sim.now
+            if span is not None:
+                span.close()
+            if proc is not None:
+                proc.trace_on = prev
+                sim._tracer = tr if prev else None
+            if rec is not None:
+                rec.recorded += 1
+                rec.events.append((end, "op.end",
+                                   {"op": name, "id": opid, "ok": ok,
+                                    "dur": end - start}))
+            if self.slowlog is not None:
+                self.slowlog.observe(name, start, end, ok, span)

@@ -373,7 +373,13 @@ def _with_root_span(op: str, fn):
 
     def method(self, *args, **kwargs):
         gen = fn(self, *args, **kwargs)
-        tr = self.sim._tracer
+        sim = self.sim
+        ob = sim._obs_ops
+        if ob is not None:
+            # Sampling / slow-op log / flight recorder installed: route the
+            # root op through the observer (which opens the span itself).
+            return ob.observe(name, gen)
+        tr = sim._tracer
         if tr is None:
             return gen
         return tr.wrap(name, gen, ROOT_CAT)

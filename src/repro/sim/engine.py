@@ -204,7 +204,8 @@ class Process(Event):
     generator's return value) or raises (failure, with the exception).
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_wait_epoch", "name", "parent_proc")
+    __slots__ = ("_gen", "_waiting_on", "_wait_epoch", "name", "parent_proc",
+                 "trace_on")
 
     def __init__(self, sim: "Simulator", gen: SimGen, name: str = ""):
         # Event.__init__ is inlined: process spawns are the hottest
@@ -225,7 +226,13 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         # The process that spawned this one (None for top-level processes).
         # Observability uses the chain to parent spans across fan-outs.
-        self.parent_proc: Optional["Process"] = sim._active_proc
+        parent = sim._active_proc
+        self.parent_proc: Optional["Process"] = parent
+        # Per-process "tracing active" bit for sampled tracing: inherited
+        # from the spawner so every process in a sampled operation's fan-out
+        # keeps tracing. Only consulted while a sampling tracer is installed
+        # (``sim._sample_tracer``); see Process._step.
+        self.trace_on = False if parent is None else parent.trace_on
         # Kick off at the current time. The kick-off event is invisible to
         # user code, so it is drawn from (and recycled into) a freelist
         # (its callbacks slot is left None in the pool; the list literal
@@ -302,6 +309,14 @@ class Process(Event):
         gen = self._gen
         prev_active = sim._active_proc
         sim._active_proc = self
+        # Sampled tracing: with a sampling tracer installed, ``sim._tracer``
+        # is *context-local* — synced here from the per-process bit so every
+        # instrumentation and elision site keeps its single ``sim._tracer``
+        # check yet sees the tracer only inside sampled operations. One
+        # attribute load + branch when sampling is off (the common case).
+        st = sim._sample_tracer
+        if st is not None:
+            sim._tracer = st if self.trace_on else None
         fast = sim._fast
         ready = sim._ready
         heap = sim._heap
@@ -379,6 +394,9 @@ class Process(Event):
                 return
         finally:
             sim._active_proc = prev_active
+            if st is not None:
+                sim._tracer = (st if prev_active is not None
+                               and prev_active.trace_on else None)
 
 
 class _Condition(Event):
@@ -464,8 +482,19 @@ class Simulator:
 
     # Span tracer hook (set by repro.obs when tracing is enabled). A class
     # attribute so instrumented hot paths can read ``sim._tracer`` without
-    # getattr defaults; ``None`` means tracing is off.
+    # getattr defaults; ``None`` means tracing is off. With *sampled*
+    # tracing the installed tracer lives in ``_sample_tracer`` and
+    # ``_tracer`` becomes context-local: Process._step points it at the
+    # tracer only while stepping a process whose ``trace_on`` bit is set.
     _tracer = None
+    # The tracer installed in sampling mode (None = not sampling).
+    _sample_tracer = None
+    # Root-op observer (repro.obs: sampling decision + slow-op log + flight
+    # recorder feed); consulted by the mount layer's VFS-op wrapper only.
+    _obs_ops = None
+    # Flight recorder (repro.obs.recorder.FlightRecorder). Subsystems feed
+    # it via ``rec = sim._recorder; if rec is not None: rec.record(...)``.
+    _recorder = None
 
     def __init__(self, fast: Optional[bool] = None):
         self.now: float = 0.0

@@ -51,10 +51,12 @@ class WorkloadRunner:
             drop = getattr(mount, "invalidate_dcache", None)
             if drop is not None:
                 drop()
-        tracer = self.sim._tracer
+        tracer = self.sim._tracer or self.sim._sample_tracer
         if tracer is not None:
             # Spans opened during this phase carry its name, which is what
-            # the latency-attribution report groups by.
+            # the latency-attribution report groups by. Under sampled
+            # tracing the main context sees ``sim._tracer is None``, so
+            # reach for the sampling tracer too.
             tracer.phase = name
         self.recorder.begin(name)
         procs = [self.sim.process(f(), name=f"{name}[{i}]")

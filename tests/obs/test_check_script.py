@@ -1,0 +1,131 @@
+"""scripts/check_chrome_trace.py validates what the exporter and the
+flight recorder actually emit — counters, flows, and recorder dumps."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.obs import FlightRecorder, Observability, Series, \
+    write_chrome_trace
+from repro.sim import Simulator
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                       "scripts", "check_chrome_trace.py")
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_chrome_trace",
+                                                  _SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _trace_with_everything(path):
+    sim = Simulator()
+    tracer = Observability.of(sim).enable_tracing(pid_name="t")
+
+    def child():
+        with tracer.span("io", "net"):
+            yield sim.timeout(1e-3)
+
+    def root():
+        with tracer.span("op", "vfs"):
+            sim.process(child(), name="fanout")
+            yield sim.timeout(2e-3)
+
+    sim.run_process(root())
+    sim.run()
+    s = Series("qdepth")
+    s.add(0.0, 1.0)
+    s.add(1e-3, 2.0)
+    write_chrome_trace(path, [tracer], counters=[(1, "qdepth", s)])
+
+
+class TestTraceMode:
+    def test_real_export_passes(self, checker, tmp_path):
+        path = str(tmp_path / "trace.json")
+        _trace_with_everything(path)
+        doc = json.loads(open(path).read())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"C", "s", "f"} <= phases, "fixture lost its new event types"
+        assert checker.check(path) == []
+        assert checker.main([path]) == 0
+
+    def test_counter_without_value_rejected(self, checker, tmp_path):
+        path = str(tmp_path / "bad.json")
+        _trace_with_everything(path)
+        doc = json.loads(open(path).read())
+        next(e for e in doc["traceEvents"] if e["ph"] == "C")["args"] = {}
+        open(path, "w").write(json.dumps(doc))
+        assert any("args.value" in e for e in checker.check(path))
+
+    def test_unpaired_and_misordered_flows_rejected(self, checker, tmp_path):
+        path = str(tmp_path / "bad.json")
+        _trace_with_everything(path)
+        doc = json.loads(open(path).read())
+        events = doc["traceEvents"]
+        f_ev = next(e for e in events if e["ph"] == "f")
+        s_ev = next(e for e in events if e["ph"] == "s"
+                    and e["id"] == f_ev["id"])
+        # Misorder: start after finish.
+        s_ev["ts"] = f_ev["ts"] + 10.0
+        # Unpair: a second finish with no start, missing bp.
+        events.append({**f_ev, "id": 999_999})
+        events[-1].pop("bp")
+        open(path, "w").write(json.dumps(doc))
+        errors = checker.check(path)
+        assert any("after finish" in e for e in errors)
+        assert any("finish but no start" in e for e in errors)
+        assert any("bp='e'" in e for e in errors)
+
+
+class TestRecorderMode:
+    def _dump(self, tmp_path):
+        sim = Simulator()
+        rec = FlightRecorder(sim, capacity=8)
+        for i in range(12):
+            rec.record("ev", i=i)
+        path = str(tmp_path / "flight.json")
+        rec.dump(path)
+        return path
+
+    def test_real_dump_passes(self, checker, tmp_path):
+        path = self._dump(tmp_path)
+        assert checker.check_recorder(path) == []
+        assert checker.main(["--recorder", path]) == 0
+
+    def test_crashcheck_wrapper_accepted(self, checker, tmp_path):
+        inner = json.loads(open(self._dump(tmp_path)).read())
+        path = str(tmp_path / "wrapped.json")
+        open(path, "w").write(json.dumps(
+            {"workload": "w", "points": [{"crash_at_op": 3,
+                                          "flight": inner}]}))
+        assert checker.check_recorder(path) == []
+
+    def test_bench_cli_per_kind_mapping_accepted(self, checker, tmp_path):
+        inner = json.loads(open(self._dump(tmp_path)).read())
+        path = str(tmp_path / "perkind.json")
+        open(path, "w").write(json.dumps({"arkfs": inner, "cephfs": inner}))
+        assert checker.check_recorder(path) == []
+        bad = dict(inner, schema="nope")
+        open(path, "w").write(json.dumps({"arkfs": bad}))
+        assert any("arkfs" in e and "schema" in e
+                   for e in checker.check_recorder(path))
+
+    def test_schema_and_accounting_rejected(self, checker, tmp_path):
+        path = self._dump(tmp_path)
+        doc = json.loads(open(path).read())
+        doc["schema"] = "wrong"
+        doc["recorded"] = 1  # fewer than the retained events
+        doc["events"][1]["t"] = -5.0  # time goes backwards
+        del doc["events"][2]["kind"]
+        open(path, "w").write(json.dumps(doc))
+        errors = checker.check_recorder(path)
+        assert any("schema" in e for e in errors)
+        assert any("recorded" in e for e in errors)
+        assert any("decreases" in e for e in errors)
+        assert any("'kind'" in e for e in errors)

@@ -1,0 +1,152 @@
+"""Chrome-trace export edge cases: empty traces, open spans, fan-outs
+whose parent closed first, counter tracks, and flow arrows."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    Series,
+    chrome_trace_events,
+    root_waterfalls,
+    write_chrome_trace,
+)
+from repro.sim import Simulator
+
+
+def _tracer(name="t"):
+    sim = Simulator()
+    return sim, Observability.of(sim).enable_tracing(pid_name=name)
+
+
+class TestEdgeCases:
+    def test_empty_trace_exports_metadata_only(self, tmp_path):
+        _sim, tracer = _tracer()
+        events = chrome_trace_events([tracer])
+        assert all(e["ph"] == "M" for e in events)
+        out = tmp_path / "empty.json"
+        n = write_chrome_trace(str(out), [tracer])
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_no_tracers_at_all(self, tmp_path):
+        out = tmp_path / "none.json"
+        assert write_chrome_trace(str(out), []) == 0
+        assert json.loads(out.read_text())["traceEvents"] == []
+
+    def test_spans_open_at_sim_end_are_omitted(self):
+        sim, tracer = _tracer()
+
+        def proc():
+            tracer.span("never.closed", "svc")  # still open at sim end
+            with tracer.span("closed", "cpu"):
+                yield sim.timeout(1e-3)
+
+        sim.run_process(proc())
+        x = [e for e in chrome_trace_events([tracer]) if e["ph"] == "X"]
+        assert [e["name"] for e in x] == ["closed"]
+        # The closed child of the still-open span exports without a flow
+        # arrow (no parent-side end to anchor it), and never a fake end.
+        assert [e for e in chrome_trace_events([tracer])
+                if e["ph"] in ("s", "f")] == []
+
+    def test_fanout_child_outliving_parent_gets_clamped_flow(self):
+        """A fan-out child can open spans after its (spawn-)parent span
+        already closed; the flow arrow must clamp into the parent's
+        interval and stay well-ordered (s.ts <= f.ts)."""
+        sim, tracer = _tracer()
+
+        def child():
+            # First span while the parent is still open: this is when the
+            # spawn-parent edge is resolved (and cached for later spans).
+            with tracer.span("early", "net"):
+                yield sim.timeout(5e-4)
+            yield sim.timeout(5e-3)
+            with tracer.span("late.child", "net"):
+                yield sim.timeout(1e-3)
+
+        def root():
+            with tracer.span("root", "vfs"):
+                sim.process(child(), name="fanout")
+                yield sim.timeout(1e-3)  # root closes long before late.child
+
+        sim.run_process(root())
+        sim.run()
+        events = chrome_trace_events([tracer])
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        assert {e["name"] for e in flows} == {"early", "late.child"}
+        s_ev = next(e for e in flows
+                    if e["ph"] == "s" and e["name"] == "late.child")
+        f_ev = next(e for e in flows
+                    if e["ph"] == "f" and e["name"] == "late.child")
+        assert s_ev["id"] == f_ev["id"]
+        assert f_ev["bp"] == "e"
+        assert s_ev["ts"] <= f_ev["ts"]
+        root_x = next(e for e in events
+                      if e["ph"] == "X" and e["name"] == "root")
+        # Parent-side anchor clamped inside the root span's interval even
+        # though the child started after the root ended.
+        assert root_x["ts"] <= s_ev["ts"] <= root_x["ts"] + root_x["dur"]
+        assert f_ev["ts"] > root_x["ts"] + root_x["dur"]
+
+    def test_same_thread_children_have_no_flow(self):
+        sim, tracer = _tracer()
+
+        def proc():
+            with tracer.span("outer", "vfs"):
+                with tracer.span("inner", "cpu"):
+                    yield sim.timeout(1e-3)
+
+        sim.run_process(proc())
+        assert [e for e in chrome_trace_events([tracer])
+                if e["ph"] in ("s", "f")] == []
+
+    def test_counter_events_from_series(self, tmp_path):
+        _sim, tracer = _tracer()
+        s = Series("osd0.q")
+        for i in range(4):
+            s.add(i * 1e-3, float(i))
+        events = chrome_trace_events([tracer], counters=[(1, "osd0.q", s)])
+        c = [e for e in events if e["ph"] == "C"]
+        assert len(c) == 4
+        for ev, i in zip(c, range(4)):
+            assert ev["name"] == "osd0.q"
+            assert ev["pid"] == 1
+            assert ev["args"]["value"] == float(i)
+            assert ev["ts"] == pytest.approx(i * 1e3)
+        out = tmp_path / "counters.json"
+        n = write_chrome_trace(str(out), [tracer],
+                               counters=[(1, "osd0.q", s)])
+        assert len(json.loads(out.read_text())["traceEvents"]) == n
+
+
+class TestRootWaterfalls:
+    def test_only_requested_roots_and_clipping(self):
+        sim, tracer = _tracer()
+
+        def op(name, hold):
+            with tracer.span(name, "vfs") as root:
+                with tracer.span("work", "cpu"):
+                    yield sim.timeout(hold)
+            return root
+
+        r1 = sim.run_process(op("op1", 2e-3))
+        r2 = sim.run_process(op("op2", 3e-3))
+        wf = root_waterfalls(tracer, [r1])
+        assert set(wf) == {id(r1)}
+        assert wf[id(r1)]["cpu"] == pytest.approx(2e-3)
+        both = root_waterfalls(tracer, [r1, r2])
+        assert both[id(r2)]["cpu"] == pytest.approx(3e-3)
+
+    def test_root_without_primitives_absent(self):
+        sim, tracer = _tracer()
+
+        def op():
+            with tracer.span("noop", "vfs") as root:
+                yield sim.timeout(1e-3)
+            return root
+
+        root = sim.run_process(op())
+        assert root_waterfalls(tracer, [root]) == {}

@@ -73,6 +73,59 @@ class TestHistogram:
         json.dumps(h.to_dict(), allow_nan=False)
         json.dumps(Histogram("empty").to_dict(), allow_nan=False)
 
+    def test_quantile_unit_range_and_delegation(self):
+        h = Histogram("lat")
+        for i in range(1, 101):
+            h.observe(i * 1e-4)
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+        assert h.quantile(-0.5) == h.min      # clamped below
+        assert h.quantile(2.0) == h.max       # clamped above
+        prev = 0.0
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99, 1.0):
+            v = h.quantile(q)
+            assert h.min <= v <= h.max
+            assert v >= prev
+            prev = v
+            # percentile() is the same computation on a 0..100 scale.
+            assert h.percentile(q * 100) == v
+        assert Histogram("empty").quantile(0.99) == 0.0
+
+    def test_quantile_upper_bounds_same_bucket_values(self):
+        """quantile_upper gives a bucket boundary with slack above the
+        rank's bucket, so a strict ``>`` against it never fires for
+        float-jittered uniform values — even ones that straddle a bucket
+        edge — while distant outliers still exceed it."""
+        h = Histogram("lat")
+        durs, t = [], 0.0
+        for _ in range(100):  # accumulated-time jitter straddles a boundary
+            durs.append((t + 0.001) - t)
+            t += 0.001
+        for d in durs:
+            h.observe(d)
+        qu = h.quantile_upper(0.99)
+        assert not any(d > qu for d in durs)
+        assert 0.009 > qu
+        assert qu >= h.quantile(0.99)
+        assert Histogram("empty").quantile_upper(0.99) == 0.0
+        assert h.quantile_upper(0.0) == h.min
+
+    def test_bucketing_never_drops_the_max_bucket(self):
+        """Every observation lands in some bucket — including ones that
+        clamp into the edge buckets — so no decimation of the value range
+        can lose the max: top-tail quantiles converge on the exact max."""
+        h = Histogram("lat")
+        for _ in range(999):
+            h.observe(1e-4)
+        h.observe(1e6)  # clamps into the top bucket, beyond HI
+        assert sum(h._counts) == h.count == 1000
+        assert h._counts[-1] == 1, "clamped max lost its bucket"
+        assert h.quantile(1.0) == 1e6
+        # The p99.95 rank falls inside the top bucket: the result reflects
+        # that bucket (not the 1e-4 mass) and clamps at the tracked max.
+        v = h.quantile(0.9995)
+        assert Histogram.BOUNDS[-2] <= v <= h.max
+
 
 class TestSeries:
     def test_decimation_bounds_memory(self):

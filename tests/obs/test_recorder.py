@@ -1,0 +1,100 @@
+"""Flight recorder: bounded ring, subsystem hooks, honest dumps."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BENCH_OBS, NET_50G, build
+from repro.obs import RECORDER_SCHEMA, FlightRecorder, Observability
+from repro.posix import ROOT_CREDS, SyncFS
+from repro.sim import Simulator
+
+MiB = 1024 * 1024
+
+
+class _FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestRing:
+    def test_bounded_and_counts_drops(self):
+        rec = FlightRecorder(_FakeSim(), capacity=4)
+        for i in range(10):
+            rec.record("ev", i=i)
+        assert len(rec.events) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        doc = rec.to_dict()
+        assert doc["schema"] == RECORDER_SCHEMA
+        assert doc["dropped"] == 6
+        assert [e["i"] for e in doc["events"]] == [6, 7, 8, 9]
+
+    def test_to_dict_last_n(self):
+        rec = FlightRecorder(_FakeSim(), capacity=8)
+        for i in range(5):
+            rec.record("ev", i=i)
+        doc = rec.to_dict(last=2)
+        assert [e["i"] for e in doc["events"]] == [3, 4]
+        assert doc["recorded"] == 5
+
+    def test_dump_strict_json(self, tmp_path):
+        sim = _FakeSim()
+        rec = FlightRecorder(sim, capacity=8)
+        rec.record("a")
+        sim.now = 1.5
+        rec.record("b", key="k", n=3)
+        path = tmp_path / "flight.json"
+        assert rec.dump(str(path)) == 2
+        doc = json.loads(path.read_text())
+        assert doc["events"][0] == {"t": 0.0, "kind": "a"}
+        assert doc["events"][1] == {"t": 1.5, "kind": "b", "key": "k", "n": 3}
+        ts = [e["t"] for e in doc["events"]]
+        assert ts == sorted(ts)
+
+
+class TestSubsystemFeeds:
+    @pytest.fixture
+    def recorded_arkfs(self, monkeypatch):
+        monkeypatch.setattr(BENCH_OBS, "tracing", False)
+        monkeypatch.setattr(BENCH_OBS, "sample_rate", 0.0)
+        monkeypatch.setattr(BENCH_OBS, "slowlog", False)
+        monkeypatch.setattr(BENCH_OBS, "recorder", True)
+        sim = Simulator()
+        cluster, mounts = build("arkfs", sim, n_clients=1, net=NET_50G)
+        return sim, cluster, mounts, Observability.of(sim).recorder
+
+    def test_root_ops_journal_and_writeback_recorded(self, recorded_arkfs):
+        sim, cluster, mounts, rec = recorded_arkfs
+        fs = SyncFS(mounts[0], ROOT_CREDS)
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"x" * MiB, do_fsync=True)
+        assert fs.read_file("/d/f") == b"x" * MiB
+        kinds = {e["kind"] for e in rec.to_dict()["events"]}
+        assert "op.start" in kinds and "op.end" in kinds
+        assert "cache.writeback" in kinds
+        ends = [e for e in rec.to_dict()["events"] if e["kind"] == "op.end"]
+        assert all(e["ok"] for e in ends)
+        assert all(e["dur"] >= 0 for e in ends)
+        # With sampling off, every op records sampled=False.
+        starts = [e for e in rec.to_dict()["events"]
+                  if e["kind"] == "op.start"]
+        assert starts and not any(e["sampled"] for e in starts)
+
+    def test_retries_and_faults_recorded(self, monkeypatch):
+        monkeypatch.setattr(BENCH_OBS, "tracing", False)
+        monkeypatch.setattr(BENCH_OBS, "sample_rate", 0.0)
+        monkeypatch.setattr(BENCH_OBS, "slowlog", False)
+        monkeypatch.setattr(BENCH_OBS, "recorder", True)
+        monkeypatch.setattr(BENCH_OBS, "fault_mode", "transient")
+        monkeypatch.setattr(BENCH_OBS, "transient_every", 20)
+        sim = Simulator()
+        cluster, mounts = build("arkfs", sim, n_clients=1, net=NET_50G)
+        rec = Observability.of(sim).recorder
+        fs = SyncFS(mounts[0], ROOT_CREDS)
+        fs.mkdir("/d")
+        for i in range(6):
+            fs.write_file(f"/d/f{i}", b"y" * (64 * 1024), do_fsync=True)
+        kinds = [e["kind"] for e in rec.to_dict()["events"]]
+        assert "fault.transient" in kinds
+        assert "store.retry" in kinds

@@ -1,0 +1,119 @@
+"""Slow-op log: trigger rules, bounded retention, waterfalls, JSON dump."""
+
+import json
+
+import pytest
+
+from repro.obs import SLOWLOG_SCHEMA, Observability, SlowOpLog
+from repro.sim import Simulator
+
+
+class _FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _feed(log, op, durs, start=0.0):
+    t = start
+    for d in durs:
+        log.observe(op, t, t + d, True, None)
+        t += d
+
+
+class TestTriggers:
+    def test_static_threshold_always_logs(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=0.010)
+        _feed(log, "vfs.read", [0.001, 0.002, 0.050])
+        doc = log.to_dict()
+        slow = doc["ops"]["vfs.read"]["slow"]
+        assert len(slow) == 1
+        assert slow[0]["why"] == "threshold"
+        assert slow[0]["dur_s"] == pytest.approx(0.050)
+
+    def test_per_op_threshold_override(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=1.0,
+                        thresholds={"vfs.fsync": 0.001})
+        _feed(log, "vfs.fsync", [0.002])
+        _feed(log, "vfs.read", [0.002])
+        doc = log.to_dict()
+        assert len(doc["ops"]["vfs.fsync"]["slow"]) == 1
+        assert doc["ops"]["vfs.read"]["slow"] == []
+
+    def test_p99_triggers_only_after_min_count(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=10.0, min_count=64)
+        # 63 uniform ops: below min_count, nothing triggers.
+        _feed(log, "op", [0.001] * 63)
+        assert log.n_slow == 0
+        # From op 64 on, only genuine outliers (strictly above p99) log.
+        _feed(log, "op", [0.001] * 10)
+        assert log.n_slow == 0, "uniform latency must not self-log"
+        _feed(log, "op", [0.009])
+        assert log.n_slow == 1
+        entry = log.to_dict()["ops"]["op"]["slow"][0]
+        assert entry["why"] == "p99"
+
+    def test_retention_keeps_slowest_k(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=0.0, keep=4)
+        _feed(log, "op", [0.001 * (i + 1) for i in range(10)])
+        doc = log.to_dict()
+        kept = [e["dur_s"] for e in doc["ops"]["op"]["slow"]]
+        assert len(kept) == 4
+        assert kept == sorted(kept, reverse=True)
+        assert kept[0] == pytest.approx(0.010)
+        assert log.n_slow == 10  # total observed, including evicted
+        assert doc["ops"]["op"]["count"] == 10
+
+    def test_max_entries_caps_dump(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=0.0, keep=8)
+        _feed(log, "op", [0.001] * 8)
+        doc = log.to_dict(max_entries=3)
+        assert len(doc["ops"]["op"]["slow"]) == 3
+
+
+class TestWaterfalls:
+    def test_sampled_slow_op_carries_waterfall(self):
+        sim = Simulator()
+        obs = Observability.of(sim)
+        tracer = obs.enable_tracing(pid_name="t")
+        log = obs.enable_slowlog(default_threshold=0.0)
+
+        root = tracer.span("vfs.read", "vfs")
+
+        def op():
+            with tracer.span("disk", "media"):
+                yield sim.timeout(0.004)
+            with tracer.span("wire", "net"):
+                yield sim.timeout(0.001)
+
+        sim.run_process(op())
+        root.close()
+        log.observe("vfs.read", 0.0, sim.now, True, root)
+
+        doc = log.to_dict()
+        entry = doc["ops"]["vfs.read"]["slow"][0]
+        assert entry["sampled"] is True
+        wf = entry["waterfall_s"]
+        assert wf["media"] == pytest.approx(0.004)
+        assert wf["net"] == pytest.approx(0.001)
+
+    def test_unsampled_entry_has_no_waterfall(self):
+        log = SlowOpLog(_FakeSim(), default_threshold=0.0)
+        _feed(log, "op", [0.001])
+        entry = log.to_dict()["ops"]["op"]["slow"][0]
+        assert entry["sampled"] is False
+        assert "waterfall_s" not in entry
+
+
+class TestDump:
+    def test_dump_is_strict_json_with_schema(self, tmp_path):
+        log = SlowOpLog(_FakeSim(), default_threshold=0.0)
+        _feed(log, "vfs.write", [0.002, 0.003])
+        path = tmp_path / "slow.json"
+        n = log.dump(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SLOWLOG_SCHEMA
+        assert n == 2
+        assert doc["n_slow"] == 2
+        row = doc["ops"]["vfs.write"]
+        assert row["count"] == 2
+        assert row["p99_s"] >= row["p50_s"] >= 0

@@ -166,6 +166,9 @@ class TestDisabledTracing:
 
         monkeypatch.setattr(trace_mod.Span, "__init__", spy)
         monkeypatch.setattr(BENCH_OBS, "tracing", False)
+        # This test pins the *fully disabled* path; default-on sampling
+        # would trace a deterministic subset (op id 0 always samples).
+        monkeypatch.setattr(BENCH_OBS, "sample_rate", 0.0)
         sim = Simulator()
         cluster, mounts = build("arkfs", sim, n_clients=1, net=NET_50G)
         fs = SyncFS(mounts[0], ROOT_CREDS)
