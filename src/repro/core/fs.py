@@ -81,6 +81,12 @@ def build_arkfs(
     (RADOS-like by default). The lease manager is deployed on one of the
     client nodes, as in the paper's evaluation setup.
 
+    ``n_lease_managers > 1`` deploys a :class:`LeaseManagerCluster`:
+    directories hash-partition across managers, authority carries a
+    monotonic per-range epoch, and every client wires its journal to the
+    cluster's fencing registry so a deposed leader's stale-epoch commits
+    are refused (see ``repro.core.lease``).
+
     ``faults`` (a :class:`repro.faults.FaultPlan`) slides a fault-injection
     shim beneath the store and the network. When it is ``None`` — the
     default — no wrapper is installed at all, so fault-free runs are
@@ -125,4 +131,10 @@ def build_arkfs(
         client = ArkFSClient(sim, node, prt, params, service, alloc)
         cluster.clients.append(client)
         cluster.mounts.append(FuseMount(client, node, mount_params))
+    # Every client knows the population, so shard-lease placement hashes
+    # over the same ring everywhere (names, not objects: a restarted peer
+    # stays addressable).
+    names = [c.name for c in cluster.clients]
+    for c in cluster.clients:
+        c.peers = names
     return cluster

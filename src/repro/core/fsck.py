@@ -16,6 +16,10 @@ written back — e.g. after ``client.sync()`` plus checkpoint drain):
   has both a packed extent and a plain data object; containers nobody
   references are garbage, and mostly-dead containers (live ratio below
   ``pack_live_warn``) are flagged as compaction debt;
+* shard maps are sound: every map belongs to an existing directory, every
+  shard-range dentry hashes into its shard's range (the map is a total
+  partition), and an *active* map coexists with no parent-range dentries —
+  there is exactly one authoritative layout;
 * no journal transactions remain (a dirty journal on a quiet system means
   an unrecovered crash);
 * leftover 2PC decision records are reported (harmless garbage, but worth
@@ -34,6 +38,7 @@ from ..posix.types import FileType
 from ..sim.engine import SimGen
 from ..sim.network import Node
 from .prt import PRT
+from .shards import ShardMap
 from .types import Dentry, Inode, ROOT_INO, ino_hex
 
 __all__ = ["FsckReport", "fsck"]
@@ -89,6 +94,7 @@ def fsck(prt: PRT, src: Optional[Node] = None,
     data_sizes: Dict[tuple, int] = {}
     containers: Dict[str, int] = {}          # pack id -> container size
     extent_maps: Dict[int, dict] = {}        # file ino -> {idx: PackExtent}
+    shard_maps: Dict[int, ShardMap] = {}     # parent dir ino -> map
     journal_keys: List[str] = []
     decision_keys: List[str] = []
 
@@ -134,6 +140,17 @@ def fsck(prt: PRT, src: Optional[Node] = None,
                 report.errors.append(f"unparseable extent index {key}")
                 continue
             extent_maps[int(key[1:], 16)] = extents
+        elif kind == "s":
+            raw = yield from store.get(key, src=src)
+            try:
+                smap = ShardMap.from_bytes(raw)
+            except Exception:
+                report.errors.append(f"unparseable shard map {key}")
+                continue
+            if ino_hex(smap.dir_ino) != key[1:]:
+                report.errors.append(
+                    f"shard map {key} claims dir {smap.dir_ino:x}")
+            shard_maps[smap.dir_ino] = smap
         elif kind == "j":
             journal_keys.append(key)
         elif kind == "t":
@@ -145,12 +162,50 @@ def fsck(prt: PRT, src: Optional[Node] = None,
     report.n_containers = len(containers)
     report.n_extents = sum(len(m) for m in extent_maps.values())
 
+    # -- shard maps ------------------------------------------------------------
+    # A sharded directory's dentries live in its shards' key ranges; for the
+    # graph checks below they are attributed back to the parent. There must
+    # be exactly one authoritative layout: an *active* map means the parent
+    # range is retired (any parent-range dentry is corruption), a
+    # *splitting* map means the parent range is authoritative (shard-range
+    # copies are mid-migration shadows, ignored for refcounting).
+    shard_parent: Dict[int, tuple] = {}      # shard ino -> (parent, map)
+    for pino, smap in sorted(shard_maps.items()):
+        parent = inodes.get(pino)
+        if parent is None:
+            report.errors.append(f"shard map for nonexistent dir {pino:x}")
+        elif not parent.is_dir:
+            report.errors.append(f"shard map under non-directory {pino:x}")
+        if not smap.active:
+            (report.warnings if after_crash else report.errors).append(
+                f"dir {pino:x}: shard map left in state 'splitting'"
+                " (interrupted split; parent range authoritative)")
+        for r in smap.shards:
+            shard_parent[r.ino] = (pino, smap)
+
     # -- the namespace graph ---------------------------------------------------
     if ROOT_INO not in inodes:
         report.errors.append("root inode missing")
     refcount: Dict[int, int] = {}
     subdir_count: Dict[int, int] = {}
     for dir_ino, dentry in dentries:
+        sp = shard_parent.get(dir_ino)
+        if sp is not None:
+            pino, smap = sp
+            if smap.route(dentry.name) != dir_ino:
+                report.errors.append(
+                    f"dentry {dentry.name!r} in the wrong shard of dir "
+                    f"{pino:x} (total hash partition violated)")
+            if not smap.active:
+                continue  # mid-split shadow copy; the parent range counts
+            dir_ino = pino
+        else:
+            smap = shard_maps.get(dir_ino)
+            if smap is not None and smap.active:
+                report.errors.append(
+                    f"dir {dir_ino:x}: parent-range dentry "
+                    f"{dentry.name!r} survived an active split")
+                continue  # shard copy is the authoritative reference
         if dir_ino not in inodes:
             report.errors.append(
                 f"dentry {dentry.name!r} under nonexistent dir "
@@ -189,6 +244,12 @@ def fsck(prt: PRT, src: Optional[Node] = None,
     # -- directory link counts -----------------------------------------------------
     for ino, inode in inodes.items():
         if inode.is_dir:
+            smap = shard_maps.get(ino)
+            if smap is not None and smap.active:
+                # Sharded directories freeze nlink at the split value (a
+                # documented relaxation: shards never journal the parent
+                # inode, so subdirectory churn stops updating it).
+                continue
             expected = 2 + subdir_count.get(ino, 0)
             if inode.nlink != expected:
                 report.errors.append(

@@ -28,6 +28,7 @@ from ..obs.trace import span as _span
 from ..sim.engine import Interrupt, SimGen, Simulator
 from ..sim.network import Node
 from ..sim.resources import Mutex
+from .lease import StaleEpochError
 from .params import ArkFSParams
 from .prt import PRT
 from .retry import RetryPolicy
@@ -236,6 +237,14 @@ class JournalManager:
         self._threads: List = []
         self._stopped = False
         self._retry = RetryPolicy.from_params(sim, params)
+        # Epoch fencing (lease-manager-cluster mode). ``fencing`` is the
+        # shared FencingRegistry the journal stream heads consult before
+        # accepting a commit; ``token_of`` maps dir_ino -> the client's
+        # current (mgr_epoch, dir_epoch) authority token. Both stay None in
+        # single-manager builds — no check runs, no events change.
+        self.fencing = None
+        self.token_of = None
+        self.fencing_enforce = True
         # Commit/checkpoint counters and fan-out observability (how parallel
         # the checkpoint/commit paths actually ran) live in the sim-wide
         # metrics registry, namespaced per client.
@@ -383,10 +392,27 @@ class JournalManager:
 
     # -- commit / checkpoint ------------------------------------------------------
 
+    def _fence_check(self, dir_ino: int):
+        """Epoch fence at the journal stream head (cluster mode only).
+
+        Returns the commit's fencing token (``None`` when fencing is off).
+        Raises :class:`StaleEpochError` when a newer authority has been
+        granted for the directory — the caller's buffered state is a
+        zombie's and must not land."""
+        if self.fencing is None:
+            return None
+        token = self.token_of(dir_ino) if self.token_of is not None else (0, 0)
+        if self.fencing_enforce and not self.fencing.admit(dir_ino, token):
+            raise StaleEpochError(
+                f"dir {dir_ino:x}",
+                f"commit token {token} below granted authority")
+        return token
+
     def _commit_locked(self, dj: _DirJournal) -> SimGen:
         """Running txn -> durable journal object (the commit thread's job)."""
         if not dj.running:
             return
+        token = self._fence_check(dj.dir_ino)
         sp = _span(self.sim, "journal.commit", "journal")
         try:
             ops, dj.running = dj.running, []
@@ -404,6 +430,10 @@ class JournalManager:
         dj.pending_seqs.append(seq)
         dj.ops_committed = covered
         self._c_commits.inc()
+        if self.fencing is not None:
+            # Independent audit: every commit that actually landed reports
+            # its token, whether or not enforcement was consulted.
+            self.fencing.audit_commit(dj.dir_ino, token)
         rec = self.sim._recorder
         if rec is not None:
             rec.record("journal.commit", dir=dj.dir_ino, seq=seq,
@@ -440,10 +470,30 @@ class JournalManager:
             del self._checkpoint_txns[(dj.dir_ino, seq)]
             self._c_checkpoints.inc()
 
+    def _discard_fenced(self, dj: _DirJournal) -> None:
+        """A fenced-out journal stream is a zombie's: its never-acknowledged
+        buffered ops are dropped and the journal forgotten — the same
+        outcome as the leader having crashed, which semantically it has.
+        Already-durable journal objects stay on storage for the new
+        authority's replay."""
+        dj.running.clear()
+        dj.ops_committed = dj.ops_recorded
+        for seq in dj.pending_seqs:
+            self._checkpoint_txns.pop((dj.dir_ino, seq), None)
+        dj.pending_seqs.clear()
+        self.journals.pop(dj.dir_ino, None)
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.record("journal.fenced", dir=dj.dir_ino)
+
     def _commit_and_checkpoint(self, dj: _DirJournal) -> SimGen:
         req = yield from self._acquire(dj.commit_lock)
         try:
             yield from self._commit_locked(dj)
+        except StaleEpochError:
+            # Background commit raced a takeover: a newer authority exists
+            # for this directory (our lease has lapsed). Drop the stream.
+            self._discard_fenced(dj)
         finally:
             dj.commit_lock.release(req)
         yield from self._bg_checkpoint(dj)
@@ -519,6 +569,7 @@ class JournalManager:
         yield from self._commit_and_checkpoint(dj)  # drain older state
         req = yield from self._acquire(dj.commit_lock)
         try:
+            token = self._fence_check(dir_ino)
             seq = dj.next_seq
             dj.next_seq += 1
             txn = Transaction(txid, dir_ino, "prepare", _coalesce(ops),
@@ -528,6 +579,8 @@ class JournalManager:
             yield from self._retry.call(
                 lambda: self.prt.store.put(jkey, raw, src=self.node))
             self._c_commits.inc()
+            if self.fencing is not None:
+                self.fencing.audit_commit(dir_ino, token)
             return seq
         finally:
             dj.commit_lock.release(req)

@@ -13,20 +13,42 @@ Fault handling (Section III-E):
   full lease period past the expiry so read/write leases issued by the dead
   leader have lapsed, then lets the new leader replay the journal; other
   clients wait until the new leader reports recovery complete.
-* If the manager itself crashes, a restart refuses all grants for one lease
-  period (so no two clients can ever believe they lead the same directory).
+* If the (standalone) manager itself crashes, a restart refuses all grants
+  for one lease period (so no two clients can ever believe they lead the
+  same directory).
+
+Scale-out (:class:`LeaseManagerCluster`) hash-partitions directories over a
+ring of managers. Each ring slot is a *range* whose authority carries a
+monotonic **epoch**; on manager death the ring successor takes the range
+over at ``epoch + 1`` behind a *per-range* fence window (one lease period —
+only the affected range refuses grants; a restarted manager's other ranges
+keep serving). Every grant is stamped with a ``(mgr_epoch, dir_epoch)``
+fencing token, the shared :class:`FencingRegistry` tracks the highest token
+ever granted per directory, and journal streams reject any commit carrying
+a lower token — a deposed leader (a "zombie": still alive, believes its
+lease valid) can therefore never overwrite state the new authority owns.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..posix.errors import IOFailure
 from ..sim.engine import SimGen, Simulator
 from ..sim.network import Node
 from .params import ArkFSParams
 
-__all__ = ["LeaseGrant", "LeaseManager", "LeaseRedirect", "LeaseWait"]
+__all__ = ["LeaseGrant", "LeaseManager", "LeaseManagerCluster",
+           "LeaseRedirect", "LeaseWait", "FencingRegistry",
+           "StaleEpochError"]
+
+
+class StaleEpochError(IOFailure):
+    """A journal commit (or lease-derived action) carried a fencing token
+    below the highest authority already granted for the directory — the
+    issuer has been deposed and its write must not land."""
 
 
 @dataclass(frozen=True)
@@ -38,6 +60,7 @@ class LeaseGrant:
     epoch: int
     fresh: bool            # True: must (re)load the metatable from storage
     needs_recovery: bool   # True: scan/replay the journal before serving
+    mgr_epoch: int = 0     # range-authority epoch (0 = standalone manager)
 
 
 @dataclass(frozen=True)
@@ -66,20 +89,74 @@ class _LeaseState:
     clean: bool = True          # released (or never held) cleanly
     recovering_by: Optional[str] = None
     fence_until: float = 0.0
+    seen_epoch: int = 0         # range epoch this state was last valid under
+    takeover: bool = False      # next grant must replay the journal
+
+
+class FencingRegistry:
+    """The per-directory fencing-token high-water mark (cluster mode).
+
+    Models the check each journal stream head performs on a commit: pure
+    dictionary state, zero simulation events — installing it changes no
+    timings. Managers feed it the token of every grant; journal managers
+    ask :meth:`admit` before accepting a commit and report every commit
+    that actually landed to :meth:`audit_commit`, which is the independent
+    no-stale-epoch-commit auditor the crashcheck sweep drains (it keeps
+    working even when a seeded bug disables enforcement).
+    """
+
+    def __init__(self) -> None:
+        #: dir_ino -> highest (mgr_epoch, dir_epoch) ever granted
+        self.max_granted: Dict[int, Tuple[int, int]] = {}
+        self.rejected = 0
+        self.commits = 0
+        self.breaches: List[str] = []
+
+    def note_grant(self, dir_ino: int, token: Tuple[int, int]) -> None:
+        cur = self.max_granted.get(dir_ino)
+        if cur is None or token > cur:
+            self.max_granted[dir_ino] = token
+
+    def admit(self, dir_ino: int, token: Tuple[int, int]) -> bool:
+        """May a commit stamped ``token`` land? Tokens compare
+        lexicographically; anything below the highest grant is a zombie
+        write (new grants are only issued after the old lease could no
+        longer be honestly believed valid)."""
+        cur = self.max_granted.get(dir_ino)
+        if cur is not None and token < cur:
+            self.rejected += 1
+            return False
+        return True
+
+    def audit_commit(self, dir_ino: int, token: Tuple[int, int]) -> None:
+        self.commits += 1
+        cur = self.max_granted.get(dir_ino)
+        if cur is not None and token < cur:
+            self.breaches.append(
+                f"stale-epoch commit applied to dir {dir_ino:x}: "
+                f"token={token} < max granted={cur}")
+
+    def drain_breaches(self) -> List[str]:
+        out, self.breaches = self.breaches, []
+        return out
 
 
 class LeaseManager:
-    """The cluster's (single) lease manager service.
+    """One lease manager service (standalone, or one ring member).
 
     Runs on ``node``; clients reach it through RPC methods ``lease.acquire``,
     ``lease.release`` and ``lease.recovered``. All handlers are cheap
     ("acquiring/extending a lease is a very lightweight operation").
     """
 
-    def __init__(self, sim: Simulator, node: Node, params: ArkFSParams):
+    def __init__(self, sim: Simulator, node: Node, params: ArkFSParams,
+                 cluster: Optional["LeaseManagerCluster"] = None,
+                 index: int = 0):
         self.sim = sim
         self.node = node
         self.params = params
+        self.cluster = cluster
+        self.index = index
         self.leases: Dict[int, _LeaseState] = {}
         self._boot_time = sim.now
         self._restarted = False  # the startup gate applies only to restarts
@@ -106,32 +183,81 @@ class LeaseManager:
     def _work(self) -> SimGen:
         yield from self.node.work(self.params.lease_op_cpu)
 
+    def _grant(self, dir_ino: int, st: _LeaseState, rs, fresh: bool,
+               needs_recovery: bool) -> LeaseGrant:
+        me = rs.epoch if rs is not None else 0
+        if rs is not None:
+            self.cluster.fencing.note_grant(dir_ino, (me, st.epoch))
+        return LeaseGrant(dir_ino, st.expires_at, st.epoch, fresh=fresh,
+                          needs_recovery=needs_recovery, mgr_epoch=me)
+
     def _h_acquire(self, dir_ino: int, client: str) -> SimGen:
         yield from self._work()
         now = self.sim.now
-        startup_gate = self._boot_time + self.params.lease_period
-        if self._restarted and now < startup_gate:
-            # Freshly restarted manager: old leases may still be live.
-            self.stats["wait"] += 1
-            return LeaseWait(dir_ino, startup_gate, "manager-restarted")
+        rs = None
+        if self.cluster is None:
+            startup_gate = self._boot_time + self.params.lease_period
+            if self._restarted and now < startup_gate:
+                # Freshly restarted manager: old leases may still be live.
+                self.stats["wait"] += 1
+                return LeaseWait(dir_ino, startup_gate, "manager-restarted")
+        else:
+            rs = self.cluster.range_for(dir_ino)
+            if rs.owner != self.index:
+                # Deposed (or mis-routed): the client must re-resolve the
+                # range owner and retry there.
+                self.stats["wait"] += 1
+                return LeaseWait(dir_ino,
+                                 now + self.params.lease_retry_delay,
+                                 "not-range-owner")
+            if now < rs.fence_until:
+                # Per-range fence after a takeover/restart: leases issued
+                # by the previous authority may still be live. Only THIS
+                # range waits — the manager's other ranges keep serving.
+                self.stats["wait"] += 1
+                return LeaseWait(dir_ino, rs.fence_until, "range-fenced")
         st = self.leases.setdefault(dir_ino, _LeaseState())
+        if rs is not None and st.seen_epoch < rs.epoch:
+            # First touch of this directory under a new range epoch: lease
+            # state predating the takeover is void (the range fence already
+            # let its holders lapse), and the new authority must replay the
+            # journal before serving — unless the range never failed over
+            # (epoch 1), in which case this is just a brand-new state.
+            st.holder = None
+            st.expires_at = 0.0
+            st.clean = True
+            st.recovering_by = None
+            st.fence_until = 0.0
+            st.takeover = rs.epoch > 1
+            st.seen_epoch = rs.epoch
 
         if st.recovering_by is not None:
             if st.recovering_by == client:
                 # The recovering leader re-extends its claim.
                 st.expires_at = now + self.params.lease_period
-                return LeaseGrant(dir_ino, st.expires_at, st.epoch,
-                                  fresh=False, needs_recovery=True)
-            self.stats["wait"] += 1
-            return LeaseWait(dir_ino, st.expires_at, "recovery-in-progress")
+                return self._grant(dir_ino, st, rs, fresh=False,
+                                   needs_recovery=True)
+            if st.expires_at <= now:
+                # The recovering leader's own lease lapsed: it crashed
+                # mid-replay. Void the claim and fall through to the
+                # expired-holder path below, which fences out its file
+                # leases and hands recovery to the next acquirer (replay
+                # is idempotent). Without this, a recoverer dying between
+                # its grant and ``lease.recovered`` wedges the directory
+                # forever behind a wait deadline that is already past.
+                st.recovering_by = None
+            else:
+                self.stats["wait"] += 1
+                return LeaseWait(dir_ino, st.expires_at,
+                                 "recovery-in-progress")
 
         if st.holder is not None and st.expires_at > now:
             if st.holder == client:
                 # Extension: metatable remains valid.
                 st.expires_at = now + self.params.lease_period
                 self.stats["extend"] += 1
-                return LeaseGrant(dir_ino, st.expires_at, st.epoch,
-                                  fresh=False, needs_recovery=False)
+                return self._grant(dir_ino, st, rs, fresh=False,
+                                   needs_recovery=False)
             self.stats["redirect"] += 1
             return LeaseRedirect(dir_ino, st.holder, st.expires_at)
 
@@ -143,29 +269,28 @@ class LeaseManager:
                 # Fencing: let the dead leader's file read/write leases lapse.
                 self.stats["wait"] += 1
                 return LeaseWait(dir_ino, fence, "fencing-crashed-leader")
-
-        same_leader_continuation = (
-            st.holder == client and st.clean and st.expires_at > 0
-        )
+        needs_recovery = crashed or st.takeover
+        st.takeover = False
         st.holder = client
         st.epoch += 1
         st.expires_at = now + self.params.lease_period
         st.clean = False  # held; only a release makes it clean again
         self.stats["acquire"] += 1
-        if crashed:
+        if needs_recovery:
             st.recovering_by = client
             self.stats["recovery_grants"] += 1
-            return LeaseGrant(dir_ino, st.expires_at, st.epoch, fresh=True,
-                              needs_recovery=True)
+            return self._grant(dir_ino, st, rs, fresh=True,
+                               needs_recovery=True)
         # A lapsed-but-cleanly-flushed previous holder still reloads: its
         # in-memory metatable "might be out-of-date" (Section III-B) —
         # unless it never lost the lease (extension handled above).
-        del same_leader_continuation
-        return LeaseGrant(dir_ino, st.expires_at, st.epoch, fresh=True,
-                          needs_recovery=False)
+        return self._grant(dir_ino, st, rs, fresh=True, needs_recovery=False)
 
     def _h_release(self, dir_ino: int, client: str, clean: bool) -> SimGen:
         yield from self._work()
+        if (self.cluster is not None
+                and self.cluster.range_for(dir_ino).owner != self.index):
+            return False  # deposed: this manager's state for the dir is void
         st = self.leases.get(dir_ino)
         if st is None or st.holder != client:
             return False
@@ -179,6 +304,9 @@ class LeaseManager:
     def _h_recovered(self, dir_ino: int, client: str) -> SimGen:
         """The recovering leader finished journal replay; renew its lease."""
         yield from self._work()
+        if (self.cluster is not None
+                and self.cluster.range_for(dir_ino).owner != self.index):
+            return False
         st = self.leases.get(dir_ino)
         if st is None or st.recovering_by != client:
             return False
@@ -202,6 +330,16 @@ class LeaseManager:
         return self.node
 
 
+@dataclass
+class _RangeState:
+    """Authority state of one ring slot of the cluster's hash space."""
+
+    index: int              # ring slot == home manager index
+    owner: int              # manager currently serving the range
+    epoch: int = 1          # monotonic authority epoch — never reused
+    fence_until: float = 0.0
+
+
 class LeaseManagerCluster:
     """Distributed lease coordination — the paper's stated future work.
 
@@ -213,7 +351,11 @@ class LeaseManagerCluster:
     Directories are hash-partitioned across N independent managers; a
     directory's lease state lives at exactly one manager, so no agreement
     protocol between managers is needed — each inherits the single-manager
-    semantics (FCFS, fencing, recovery coordination) for its shard.
+    semantics (FCFS, fencing, recovery coordination) for its range. Range
+    authority is epoch-fenced: failover/restart bumps the range epoch and
+    fences only that range for one lease period (not the whole cluster),
+    and every grant carries a ``(range epoch, directory epoch)`` token the
+    journal layer checks commits against (:class:`FencingRegistry`).
     """
 
     def __init__(self, sim: Simulator, nodes, params: ArkFSParams):
@@ -221,13 +363,25 @@ class LeaseManagerCluster:
             raise ValueError("need at least one manager node")
         self.sim = sim
         self.params = params
-        self.managers = [LeaseManager(sim, node, params) for node in nodes]
+        self.fencing = FencingRegistry()
+        self.managers = [LeaseManager(sim, node, params, cluster=self,
+                                      index=i)
+                         for i, node in enumerate(nodes)]
+        self.ranges = [_RangeState(index=i, owner=i)
+                       for i in range(len(nodes))]
+        self._down: set = set()
+
+    # -- routing ---------------------------------------------------------------
+
+    def range_index(self, dir_ino: int) -> int:
+        h = zlib.crc32(f"{dir_ino:032x}".encode())
+        return h % len(self.managers)
+
+    def range_for(self, dir_ino: int) -> _RangeState:
+        return self.ranges[self.range_index(dir_ino)]
 
     def shard_of(self, dir_ino: int) -> LeaseManager:
-        import zlib
-
-        h = zlib.crc32(f"{dir_ino:032x}".encode())
-        return self.managers[h % len(self.managers)]
+        return self.managers[self.range_for(dir_ino).owner]
 
     def node_for(self, dir_ino: int) -> Node:
         return self.shard_of(dir_ino).node
@@ -235,13 +389,72 @@ class LeaseManagerCluster:
     def holder_of(self, dir_ino: int) -> Optional[str]:
         return self.shard_of(dir_ino).holder_of(dir_ino)
 
+    def epoch_of(self, dir_ino: int) -> int:
+        return self.range_for(dir_ino).epoch
+
+    # -- failover --------------------------------------------------------------
+
+    def _successor(self, idx: int) -> int:
+        """First live manager scanning the ring from ``idx + 1``, wrapping
+        all the way around to ``idx`` itself — when the dead owner's ring
+        predecessors are all down too, the range's live home index (or even
+        a lone surviving owner, at a bumped epoch) is still a valid heir."""
+        n = len(self.managers)
+        for k in range(1, n + 1):
+            j = (idx + k) % n
+            if j not in self._down:
+                return j
+        raise ValueError("no live successor manager")
+
+    def fail_over(self, range_index: int) -> int:
+        """Hand range ``range_index`` to the ring successor at epoch + 1.
+
+        The new owner serves the range only after a per-range fence window
+        of one lease period, by which time every lease the old authority
+        granted has lapsed; the first acquire of each directory under the
+        new epoch is a recovery grant (journal replay). Returns the new
+        owner's index."""
+        rs = self.ranges[range_index]
+        succ = self._successor(rs.owner if rs.owner not in self._down
+                               else range_index)
+        rs.epoch += 1
+        rs.owner = succ
+        rs.fence_until = self.sim.now + self.params.lease_period
+        return succ
+
+    def crash_manager(self, idx: int) -> None:
+        """Crash one manager node and fail over every range it served."""
+        self._down.add(idx)
+        self.managers[idx].node.crash()
+        for rs in self.ranges:
+            if rs.owner == idx:
+                self.fail_over(rs.index)
+
+    def restart_manager(self, idx: int) -> None:
+        """Restart a manager; it reclaims its home range at a new epoch.
+
+        Only the reclaimed range is fenced (for one lease period) — the
+        cluster's other ranges keep serving throughout, which is the
+        per-range scoping of the old global restart refusal."""
+        m = self.managers[idx]
+        if idx in self._down:
+            m.node.restart()
+            self._down.discard(idx)
+        m.leases.clear()
+        m._boot_time = self.sim.now
+        rs = self.ranges[idx]
+        rs.epoch += 1
+        rs.owner = idx
+        rs.fence_until = self.sim.now + self.params.lease_period
+
     def crash(self) -> None:
-        for m in self.managers:
+        for i, m in enumerate(self.managers):
+            self._down.add(i)
             m.crash()
 
     def restart(self) -> None:
-        for m in self.managers:
-            m.restart()
+        for i in range(len(self.managers)):
+            self.restart_manager(i)
 
     @property
     def stats(self) -> Dict[str, int]:

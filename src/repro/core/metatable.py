@@ -38,10 +38,26 @@ class Metatable:
     lease_expires: float = 0.0
     epoch: int = 0
     last_used: float = 0.0  # drives lease extension vs clean release
+    mgr_epoch: int = 0      # range-authority epoch of the grant (cluster mode)
+    # Shard tables: ``auth_ino`` is the ino whose e<>/j<> key ranges and
+    # lease this table is authoritative for; ``dir_inode`` is then a copy of
+    # the *parent* directory's inode (shards have no inode object of their
+    # own). ``None`` means the table is an ordinary directory's.
+    auth_ino: Optional[int] = None
 
     @property
     def dir_ino(self) -> int:
         return self.dir_inode.ino
+
+    @property
+    def is_shard(self) -> bool:
+        return self.auth_ino is not None
+
+    @property
+    def journal_ino(self) -> int:
+        """The ino keying this table's journal stream and lease."""
+        return self.auth_ino if self.auth_ino is not None \
+            else self.dir_inode.ino
 
     # -- lookups ----------------------------------------------------------------
 
@@ -99,15 +115,20 @@ class RemoteTable:
 
 
 def load_metatable(prt: PRT, dir_inode: Inode, src: Optional[Node],
-                   lease_expires: float, epoch: int) -> SimGen:
+                   lease_expires: float, epoch: int,
+                   list_ino: Optional[int] = None,
+                   mgr_epoch: int = 0) -> SimGen:
     """Pull a directory's metadata from object storage (lease-grant path).
 
     Loads dentries via a prefix LIST, then the inodes of child files and
-    symlinks. Directories contribute only their dentry.
+    symlinks. Directories contribute only their dentry. ``list_ino`` loads
+    a *shard* table: dentries come from the shard's key range while
+    ``dir_inode`` is the parent directory's inode.
     """
     mt = Metatable(dir_inode=dir_inode.copy(), lease_expires=lease_expires,
-                   epoch=epoch)
-    dentries = yield from prt.list_dentries(dir_inode.ino, src=src)
+                   epoch=epoch, mgr_epoch=mgr_epoch, auth_ino=list_ino)
+    dentries = yield from prt.list_dentries(
+        list_ino if list_ino is not None else dir_inode.ino, src=src)
     for d in dentries:
         mt.dentries[d.name] = d
         if d.ftype is not FileType.DIRECTORY:

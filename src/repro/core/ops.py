@@ -91,6 +91,13 @@ class LeaderOps:
         self.journal.record(mt.dir_ino, ops_put_inode(mt.dir_inode))
 
     def _touch_dir(self, mt) -> None:
+        # Shard tables hold a *copy* of the parent inode: mutating or
+        # journaling it from every shard would make the parent inode a
+        # multi-writer object. Sharded directories freeze mtime/ctime/nlink
+        # at their split value (a documented relaxation; only the home
+        # shard, via routed setattr, writes the parent inode).
+        if mt.is_shard:
+            return
         now = self.sim.now
         mt.dir_inode.mtime = now
         mt.dir_inode.ctime = now
@@ -169,13 +176,12 @@ class LeaderOps:
             dentry = Dentry(name=name, ino=ino, ftype=FileType.REGULAR)
             mt.add(dentry, inode)
             self._touch_dir(mt)
-            self.journal.record(
-                dir_ino,
-                ops_put_inode(inode),
-                ops_put_dentry(dir_ino, dentry),
-                ops_put_inode(mt.dir_inode),
-            )
-            yield from self._charge_journal(3, dir_ino)
+            ops = [ops_put_inode(inode), ops_put_dentry(dir_ino, dentry)]
+            if not mt.is_shard:
+                ops.append(ops_put_inode(mt.dir_inode))
+            self.journal.record(dir_ino, *ops)
+            yield from self._charge_journal(len(ops), dir_ino)
+            self._maybe_split(mt)
             created = True
         else:
             _require(not (flags & OpenFlags.O_EXCL and flags & OpenFlags.O_CREAT),
@@ -254,8 +260,9 @@ class LeaderOps:
         ops = [
             ops_del_dentry(dir_ino, name),
             ops_del_inode(dentry.ino),
-            ops_put_inode(mt.dir_inode),
         ]
+        if not mt.is_shard:
+            ops.append(ops_put_inode(mt.dir_inode))
         if self.prt.pack_enabled and dentry.ftype is FileType.REGULAR:
             # Without this a committed-but-uncheckpointed extent set in the
             # same journal would recreate the index after the purge below.
@@ -293,15 +300,14 @@ class LeaderOps:
         )
         dentry = Dentry(name=name, ino=ino, ftype=FileType.DIRECTORY)
         mt.add(dentry, None)  # child dir inode lives in its own metatable
-        mt.dir_inode.nlink += 1
+        ops = [ops_put_inode(child), ops_put_dentry(dir_ino, dentry)]
+        if not mt.is_shard:
+            mt.dir_inode.nlink += 1
+            ops.append(ops_put_inode(mt.dir_inode))
         self._touch_dir(mt)
-        self.journal.record(
-            dir_ino,
-            ops_put_inode(child),
-            ops_put_dentry(dir_ino, dentry),
-            ops_put_inode(mt.dir_inode),
-        )
-        yield from self._charge_journal(3, dir_ino)
+        self.journal.record(dir_ino, *ops)
+        yield from self._charge_journal(len(ops), dir_ino)
+        self._maybe_split(mt)
         # The child's inode object must be durable before anyone can acquire
         # the new directory's lease (lease acquisition loads it from
         # storage), so directory creation checkpoints eagerly. File creates
@@ -325,15 +331,13 @@ class LeaderOps:
         _require(dentry.ftype is FileType.DIRECTORY, NotADirectory, name)
         yield from self._surrender_child(dentry.ino)
         mt.remove(name)
-        mt.dir_inode.nlink -= 1
+        ops = [ops_del_dentry(dir_ino, name), ops_del_inode(dentry.ino)]
+        if not mt.is_shard:
+            mt.dir_inode.nlink -= 1
+            ops.append(ops_put_inode(mt.dir_inode))
         self._touch_dir(mt)
-        self.journal.record(
-            dir_ino,
-            ops_del_dentry(dir_ino, name),
-            ops_del_inode(dentry.ino),
-            ops_put_inode(mt.dir_inode),
-        )
-        yield from self._charge_journal(3, dir_ino)
+        self.journal.record(dir_ino, *ops)
+        yield from self._charge_journal(len(ops), dir_ino)
         self._drop_authority_hints(dentry.ino)
         return True
 
@@ -350,6 +354,17 @@ class LeaderOps:
 
         for _attempt in range(16):
             kind, who = yield from self._acquire_dir(child_ino)
+            if kind == "sharded":
+                # A sharded directory is empty iff every shard is. Surrender
+                # the shards (one-level splits: the recursion terminates),
+                # retire the map, then fall through to the parent range.
+                for si in who.shard_inos():
+                    yield from self._surrender_child(si)
+                self._drop_shard_map(child_ino)
+                yield from self._retry.call(
+                    lambda: self.prt.delete_shard_map(child_ino,
+                                                      src=self.node))
+                continue
             if kind == "local":
                 mt = self.metatables[child_ino]
                 _require(mt.is_empty, DirectoryNotEmpty, f"{child_ino:x}")
@@ -495,13 +510,12 @@ class LeaderOps:
         dentry = Dentry(name=name, ino=ino, ftype=FileType.SYMLINK)
         mt.add(dentry, inode)
         self._touch_dir(mt)
-        self.journal.record(
-            dir_ino,
-            ops_put_inode(inode),
-            ops_put_dentry(dir_ino, dentry),
-            ops_put_inode(mt.dir_inode),
-        )
-        yield from self._charge_journal(3, dir_ino)
+        ops = [ops_put_inode(inode), ops_put_dentry(dir_ino, dentry)]
+        if not mt.is_shard:
+            ops.append(ops_put_inode(mt.dir_inode))
+        self.journal.record(dir_ino, *ops)
+        yield from self._charge_journal(len(ops), dir_ino)
+        self._maybe_split(mt)
         return inode.to_dict()
 
     def _op_readlink(self, creds: Credentials, dir_ino: int, name: str,
@@ -556,8 +570,9 @@ class LeaderOps:
         ops = [
             ops_del_dentry(dir_ino, src_name),
             ops_put_dentry(dir_ino, moved),
-            ops_put_inode(mt.dir_inode),
         ]
+        if not mt.is_shard:
+            ops.append(ops_put_inode(mt.dir_inode))
         if inode is not None:
             inode.ctime = self.sim.now
             ops.append(ops_put_inode(inode))
@@ -594,7 +609,8 @@ class LeaderOps:
             yield self.sim.timeout(0)
         self.fleases.forget_file(dentry.ino)
         if dentry.ftype is FileType.DIRECTORY:
-            mt.dir_inode.nlink -= 1
+            if not mt.is_shard:
+                mt.dir_inode.nlink -= 1
             self._drop_authority_hints(dentry.ino)
 
     # Cross-directory rename: 2PC participants (Section III-E).
@@ -617,11 +633,13 @@ class LeaderOps:
             yield from self._revoke_all_holders(dentry.ino)
             self.fleases.forget_file(dentry.ino)
         self._touch_dir(mt)
-        ops = [ops_del_dentry(dir_ino, name), ops_put_inode(mt.dir_inode)]
-        if dentry.ftype is FileType.DIRECTORY:
-            mt.dir_inode.nlink -= 1  # applied at commit; journal has state
-            ops[-1] = ops_put_inode(mt.dir_inode)
-            mt.dir_inode.nlink += 1  # undo until commit
+        ops = [ops_del_dentry(dir_ino, name)]
+        if not mt.is_shard:
+            ops.append(ops_put_inode(mt.dir_inode))
+            if dentry.ftype is FileType.DIRECTORY:
+                mt.dir_inode.nlink -= 1  # applied at commit; journal has state
+                ops[-1] = ops_put_inode(mt.dir_inode)
+                mt.dir_inode.nlink += 1  # undo until commit
         seq = yield from self.journal.prepare(dir_ino, txid, ops, decision_key)
         self._pending_names.add((dir_ino, name))
         self._pending_renames[txid, dir_ino] = {
@@ -659,8 +677,9 @@ class LeaderOps:
             existing is None or existing.ftype is not FileType.DIRECTORY
         ):
             dir_copy.nlink += 1
-        ops = extra_ops + [ops_put_dentry(dir_ino, moved),
-                           ops_put_inode(dir_copy)]
+        ops = extra_ops + [ops_put_dentry(dir_ino, moved)]
+        if not mt.is_shard:
+            ops.append(ops_put_inode(dir_copy))
         if moved_inode is not None:
             moved_inode.ctime = now
             ops.append(ops_put_inode(moved_inode))
@@ -686,7 +705,8 @@ class LeaderOps:
             if pend["role"] == "src":
                 if mt.has(pend["name"]):
                     mt.remove(pend["name"])
-                if pend["dentry"].ftype is FileType.DIRECTORY:
+                if pend["dentry"].ftype is FileType.DIRECTORY \
+                        and not mt.is_shard:
                     mt.dir_inode.nlink -= 1
                 self._touch_dir(mt)
                 self._drop_authority_hints(pend["dentry"].ino)
@@ -695,7 +715,8 @@ class LeaderOps:
                 if existing is not None:
                     yield from self._remove_overwritten(mt, existing)
                 mt.add(pend["dentry"], pend["inode"])
-                mt.dir_inode.nlink = pend["dir_copy"].nlink
+                if not mt.is_shard:
+                    mt.dir_inode.nlink = pend["dir_copy"].nlink
                 self._touch_dir(mt)
         yield from self.journal.finish_prepared(dir_ino, pend["seq"],
                                                 pend["ops"], commit)

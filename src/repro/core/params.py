@@ -62,6 +62,14 @@ class ArkFSParams:
     pack_compact_live_ratio: float = 0.5   # rewrite a sealed container when
                                            # live/total drops below this
 
+    # --- elastic metadata plane: directory sharding -------------------------
+    shards_enabled: bool = False           # off by default: runs stay
+                                           # structurally identical to a build
+                                           # without the shard subsystem
+    shard_split_threshold: int = 4096      # split a directory once its dentry
+                                           # count crosses this
+    shard_fanout: int = 4                  # hash-ranged sub-shards per split
+
     # --- transient-failure handling (client-side store SDK behavior) --------
     store_retry_limit: int = 6             # retries per op before giving up
     store_retry_base: float = 1e-3         # first backoff; doubles per retry

@@ -10,6 +10,7 @@ block-granularity POSIX I/O into whole/ranged object REST operations:
 * ``t<txid>``            — a two-phase-commit decision record
 * ``p<pack-id>``         — a sealed small-file container (packed chunks)
 * ``x<uuid>``            — a file's extent index: chunk → container extent
+* ``s<uuid>``            — a sharded directory's hash-range shard map
 
 File data is split into ``data_object_size`` chunks ("The PRT module divides
 the file data into multiple objects if the file size exceeds the maximum
@@ -107,6 +108,10 @@ class PRT:
     def key_extent_index(ino: int) -> str:
         return "x" + ino_hex(ino)
 
+    @staticmethod
+    def key_shard_map(dir_ino: int) -> str:
+        return "s" + ino_hex(dir_ino)
+
     # -- inode / dentry objects ---------------------------------------------------
 
     def get_inode(self, ino: int, src: Optional[Node] = None) -> SimGen:
@@ -151,6 +156,34 @@ class PRT:
         # A dentry deleted between LIST and GET simply isn't part of the
         # load — same race a real S3 lister has.
         return [Dentry.from_bytes(raw) for raw in raws if raw is not None]
+
+    # -- shard maps ------------------------------------------------------------
+
+    def get_shard_map(self, dir_ino: int, src: Optional[Node] = None) -> SimGen:
+        """A sharded directory's partition map, or ``None`` when the
+        directory is flat (the common case)."""
+        from .shards import ShardMap
+
+        try:
+            raw = yield from self.store.get(self.key_shard_map(dir_ino),
+                                            src=src)
+        except NoSuchKey:
+            return None
+        return ShardMap.from_bytes(raw)
+
+    def put_shard_map(self, smap, src: Optional[Node] = None) -> SimGen:
+        """One atomic PUT — this is the split protocol's commit point when
+        the map carries state ``"active"``."""
+        yield from self._call(lambda: self.store.put(
+            self.key_shard_map(smap.dir_ino), smap.to_bytes(), src=src))
+
+    def delete_shard_map(self, dir_ino: int,
+                         src: Optional[Node] = None) -> SimGen:
+        try:
+            yield from self._call(lambda: self.store.delete(
+                self.key_shard_map(dir_ino), src=src))
+        except NoSuchKey:
+            pass
 
     # -- data path -------------------------------------------------------------------
 

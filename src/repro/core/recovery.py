@@ -26,7 +26,8 @@ from ..sim.network import Node
 from .journal import Transaction, apply_ops
 from .prt import PRT
 
-__all__ = ["scan_journal", "resolve_decision", "recover_directory"]
+__all__ = ["scan_journal", "resolve_decision", "recover_directory",
+           "roll_forward_split"]
 
 DECISION_COMMIT = b"commit"
 DECISION_ABORT = b"abort"
@@ -95,3 +96,25 @@ def recover_directory(prt: PRT, dir_ino: int,
         except NoSuchKey:
             pass
     return {"replayed": replayed, "aborted": aborted, "scanned": len(txns)}
+
+
+def roll_forward_split(prt: PRT, smap, src: Optional[Node] = None) -> SimGen:
+    """Complete an interrupted directory split (idempotent roll-forward).
+
+    Called by whoever next wins the parent directory's lease and finds the
+    shard map still in state ``"splitting"``: the parent range is frozen
+    (the splitting map is written only after the parent's journal is fully
+    checkpointed and new operations are fenced off), so copying every
+    parent-range dentry to its hash-routed shard range, deleting the
+    parent-range originals, and PUTting the map in state ``"active"`` is
+    safe to re-run from any crash point. The activation PUT is the atomic
+    commit point. Returns the active map.
+    """
+    dentries = yield from prt.list_dentries(smap.dir_ino, src=src)
+    for d in dentries:
+        yield from prt.put_dentry(smap.route(d.name), d, src=src)
+    for d in dentries:
+        yield from prt.delete_dentry(smap.dir_ino, d.name, src=src)
+    active = smap.with_state(smap.ACTIVE)
+    yield from prt.put_shard_map(active, src=src)
+    return active

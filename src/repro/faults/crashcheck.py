@@ -28,7 +28,14 @@ The method is the classic "crash at every store operation" sweep:
      rename atomicity: for each rename, exactly one of (old name, new
      name) exists, with the original content;
    * no 2PC decision record was ever overwritten with a different value
-     or re-created after deletion (audited live by the FaultPlan).
+     or re-created after deletion (audited live by the FaultPlan);
+   * no commit ever landed under a stale authority epoch (audited live by
+     the lease cluster's FencingRegistry — the ``epoch_handoff`` workload
+     deposes every manager range mid-run to exercise this), and a crashed
+     or interrupted directory split recovers to exactly one authoritative
+     layout (checked structurally by fsck's shard-map rules — the
+     ``shard_split`` workload lands crash points across the whole
+     two-phase split).
 
 Run it from the command line::
 
@@ -81,12 +88,19 @@ class Step:
     runs simulated time forward (letting background commit/checkpoint
     threads fire). ``durable(fs)`` — given the *survivor's* SyncFS view —
     asserts the effects this step promised were durable on return.
+
+    ``survivor=True`` runs ``gen`` on the surviving client instead (its
+    store ops are not counted as crash points — only the victim's are).
+    ``act(cluster)`` is a synchronous cluster-level control action (e.g.
+    deposing a lease-manager range) executed before any ``advance``.
     """
 
     name: str
     gen: Optional[Callable] = None
     advance: float = 0.0
     durable: Optional[Callable] = None
+    survivor: bool = False
+    act: Optional[Callable] = None
 
 
 @dataclass
@@ -96,6 +110,7 @@ class Workload:
     steps: List[Step]
     invariants: Optional[Callable] = None   # (SyncFS, violations) -> None
     params: Optional[ArkFSParams] = None    # cluster params override
+    n_lease_managers: int = 1               # >1 builds a LeaseManagerCluster
 
 
 def _wl_mkdir_heavy() -> Workload:
@@ -313,6 +328,188 @@ def _wl_pack() -> Workload:
                     invariants=invariants, params=params)
 
 
+def _wl_shard_split() -> Workload:
+    """Directory sharding: crash points across the whole two-phase split —
+    the pre-split journal checkpoint, the splitting-map PUT, the per-dentry
+    migration copies/deletes, and the activating map PUT — plus post-split
+    creates, unlink, and an intra-directory (possibly cross-shard) rename.
+
+    A tiny ``shard_split_threshold`` makes the 6th create of ``/s`` trigger
+    the background split, so the very next create blocks on the split gate
+    and the sweep lands crash points inside every migration store op. The
+    *one-authoritative-layout* invariant is checked structurally by fsck
+    (shard-map soundness: every dentry hash-routes to the range holding
+    it, no parent-range dentries survive an activated split); the workload
+    invariants add that the recovered directory lists every name exactly
+    once and that renames never duplicate across shards."""
+    params = DEFAULT_PARAMS.with_(shards_enabled=True,
+                                  shard_split_threshold=6, shard_fanout=4)
+    n = 10
+    content = {i: bytes([70 + i]) * (60 + 7 * i) for i in range(n)}
+
+    def setup(c):
+        yield from c.mkdir(ROOT_CREDS, "/s")
+        yield from c.sync()
+
+    def wr(i):
+        return lambda c: c.write_file(ROOT_CREDS, f"/s/f{i}", content[i],
+                                      do_fsync=True)
+
+    def present_check(i):
+        def check(fs):
+            if i == 1:
+                # The later unlink step may have removed it — or a crash
+                # mid-unlink purged the data before the namespace commit,
+                # leaving the name reading zeros (the torn-unlink state
+                # the pack/checkpoint workloads' contracts also allow).
+                if not fs.exists("/s/f1"):
+                    return
+                got = fs.read_file("/s/f1")
+                assert got in (content[1], b"\x00" * len(got)), \
+                    f"/s/f1 holds {got!r}"
+                return
+            if i == 2:
+                # The later rename step may have moved it; atomicity is
+                # asserted by the invariants at every crash point.
+                path = "/s/g2" if fs.exists("/s/g2") else "/s/f2"
+                got = fs.read_file(path)
+                assert got == content[2], f"{path} holds {got!r}"
+                return
+            got = fs.read_file(f"/s/f{i}")
+            assert got == content[i], f"/s/f{i} holds {got!r}"
+        return check
+
+    def synced_check(fs):
+        assert not fs.exists("/s/f1"), "/s/f1 survived its unlink"
+        got = fs.read_file("/s/g2")
+        assert got == content[2], f"/s/g2 holds {got!r}"
+        assert not fs.exists("/s/f2"), "/s/f2 survived its rename"
+
+    # f5's create crosses the threshold; f6's create waits on the split
+    # gate, so the split's store ops all land inside these steps.
+    steps = [Step(f"fsync:f{i}", gen=wr(i), durable=present_check(i))
+             for i in range(8)]
+    steps.append(Step("advance-split", advance=1.5))
+    steps.append(Step("unlink:f1",
+                      gen=lambda c: c.unlink(ROOT_CREDS, "/s/f1")))
+    steps.append(Step("rename:f2",
+                      gen=lambda c: c.rename(ROOT_CREDS, "/s/f2", "/s/g2")))
+    steps.append(Step("sync-1", gen=lambda c: c.sync(),
+                      durable=synced_check))
+    steps += [Step(f"fsync:f{i}", gen=wr(i), durable=present_check(i))
+              for i in range(8, n)]
+    steps.append(Step("sync-2", gen=lambda c: c.sync()))
+
+    def invariants(fs, violations):
+        names = fs.readdir("/s")
+        if len(names) != len(set(names)):
+            violations.append(
+                f"sharded readdir lists duplicates: {sorted(names)}")
+        for nm in names:
+            if not fs.exists(f"/s/{nm}"):
+                violations.append(f"/s/{nm} listed but not stat-able")
+        if fs.exists("/s/f2") and fs.exists("/s/g2"):
+            violations.append(
+                "rename f2->g2 duplicated across shard ranges")
+        for i in range(n):
+            for path in (f"/s/f{i}",) + (("/s/g2",) if i == 2 else ()):
+                if not fs.exists(path):
+                    continue
+                got = fs.read_file(path)
+                if got not in (content[i], b"\x00" * len(got), b""):
+                    violations.append(
+                        f"{path} holds {len(got)} bytes that are neither "
+                        f"its content nor zeros")
+
+    return Workload("shard_split", setup=setup, steps=steps,
+                    invariants=invariants, params=params)
+
+
+def _wl_epoch_handoff() -> Workload:
+    """Lease-manager scale-out: epoch-fenced range handoff under load.
+
+    A three-manager cluster serves the namespace; mid-workload every ring
+    range is failed over to its successor at epoch + 1 while the victim
+    still holds live leases and has uncommitted buffered transactions.
+    The survivor then acquires a directory under the new epoch (driving
+    the recovery grant + journal replay), after which the victim keeps
+    writing — its stale leases must re-resolve to the new authority.
+
+    The *no-stale-epoch-commit* invariant is audited independently of the
+    clients by :class:`~repro.core.lease.FencingRegistry` (every commit
+    that lands is compared against the highest token ever granted); the
+    harness drains its breach list into the violations of every crash
+    point, and the ``fence-blind`` seeded bug exists to prove the audit
+    has teeth."""
+    udata, sdata, vdata = b"u" * 64, b"s" * 72, b"v" * 80
+
+    def setup(c):
+        yield from c.mkdir(ROOT_CREDS, "/d0")
+        yield from c.mkdir(ROOT_CREDS, "/d1")
+        yield from c.sync()
+
+    def wr(path, data, fsync):
+        return lambda c: c.write_file(ROOT_CREDS, path, data,
+                                      do_fsync=fsync)
+
+    def fail_all(cluster):
+        svc = cluster.lease_service
+        for rs in list(svc.ranges):
+            svc.fail_over(rs.index)
+
+    def synced(path, data):
+        def check(fs):
+            got = fs.read_file(path)
+            assert got == data, f"{path} holds {got!r}"
+        return check
+
+    def committed(path, data):
+        def check(fs):
+            st = fs.stat(path)
+            assert st.st_size == len(data), f"{path} size {st.st_size}"
+            got = fs.read_file(path)
+            assert got in (data, b"\x00" * len(data)), f"{path}: {got!r}"
+        return check
+
+    steps = [
+        Step("write:u0", gen=wr("/d0/u0", udata, False)),
+        Step("write:u1", gen=wr("/d1/u1", udata, False)),
+        Step("fsync:s0", gen=wr("/d0/s0", sdata, True),
+             durable=synced("/d0/s0", sdata)),
+        # Depose every range owner at epoch + 1, then sit out the per-range
+        # fence window (one lease period) plus the victim's lease lapse.
+        Step("failover", act=fail_all, advance=6.5),
+        Step("survivor:v0", gen=wr("/d0/v0", vdata, True), survivor=True,
+             durable=synced("/d0/v0", vdata)),
+        Step("write:u2", gen=wr("/d0/u2", udata, False)),
+        Step("advance-commit", advance=2.5,
+             durable=committed("/d0/u0", udata)),
+        Step("fsync:s1", gen=wr("/d1/s1", sdata, True),
+             durable=synced("/d1/s1", sdata)),
+        Step("sync", gen=lambda c: c.sync(),
+             durable=committed("/d0/u2", udata)),
+    ]
+
+    def invariants(fs, violations):
+        for path, data, exact in (("/d0/s0", sdata, True),
+                                  ("/d0/v0", vdata, True),
+                                  ("/d1/s1", sdata, True),
+                                  ("/d0/u0", udata, False),
+                                  ("/d1/u1", udata, False),
+                                  ("/d0/u2", udata, False)):
+            if not fs.exists(path):
+                continue
+            got = fs.read_file(path)
+            ok = (got == data) if exact else \
+                 (got in (data, b"\x00" * len(got), b""))
+            if not ok:
+                violations.append(f"{path} holds {len(got)} "
+                                  f"unexpected bytes")
+
+    return Workload("epoch_handoff", setup=setup, steps=steps,
+                    invariants=invariants, n_lease_managers=3)
+
+
 def _noop_setup(client):
     yield client.sim.timeout(0)
 
@@ -326,6 +523,8 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "rename": _wl_rename_heavy,
     "checkpoint": _wl_checkpoint,
     "pack": _wl_pack,
+    "shard_split": _wl_shard_split,
+    "epoch_handoff": _wl_epoch_handoff,
 }
 
 
@@ -364,9 +563,33 @@ def _bug_pretend_fsync(cluster) -> None:
     cache._writeback = lying_writeback
 
 
+def _bug_fence_blind(cluster) -> None:
+    """A zombie leader: the victim's journal manager skips the fencing
+    admit check AND the victim believes every lease it is granted lasts
+    forever, so after a range fails over it keeps journaling and
+    committing under its stale ``(mgr_epoch, dir_epoch)`` token instead
+    of re-resolving the new authority. The independent
+    :class:`~repro.core.lease.FencingRegistry` audit (compare every
+    landed commit against the highest token ever granted) must flag the
+    stale-epoch commits — this bug proves that auditor has teeth even
+    when in-path enforcement is disabled."""
+    victim = cluster.client(0)
+    victim.journal.fencing_enforce = False
+    real_acquire = victim._acquire_dir
+
+    def immortal_acquire(dir_ino):
+        kind, who = yield from real_acquire(dir_ino)
+        if kind == "local":
+            who.lease_expires += 1000.0
+        return kind, who
+
+    victim._acquire_dir = immortal_acquire
+
+
 SEEDED_BUGS: Dict[str, Callable] = {
     "lost-commit": _bug_lost_commit,
     "pretend-fsync": _bug_pretend_fsync,
+    "fence-blind": _bug_fence_blind,
 }
 
 
@@ -424,7 +647,8 @@ class _StepWedged(Exception):
 
 
 def _build(bug: Optional[str] = None,
-           params: Optional[ArkFSParams] = None):
+           params: Optional[ArkFSParams] = None,
+           n_lease_managers: int = 1):
     sim = Simulator()
     # Flight recorder from the start: when a crash point finds a violation,
     # its result carries the recent event ring (fault injections, journal
@@ -434,20 +658,24 @@ def _build(bug: Optional[str] = None,
     plan = FaultPlan()
     plan.disarm()
     cluster = build_arkfs(sim, n_clients=2, functional=True, seed=0,
-                          params=params or DEFAULT_PARAMS, faults=plan)
+                          params=params or DEFAULT_PARAMS, faults=plan,
+                          n_lease_managers=n_lease_managers)
     if bug is not None:
         SEEDED_BUGS[bug](cluster)
     return sim, cluster, plan
 
 
-def _run_step(sim: Simulator, victim, step: Step) -> None:
+def _run_step(sim: Simulator, cluster, step: Step) -> None:
     """Run one step with a sim-time bound (a crashed client's unwinding
     coroutines can otherwise spin on retry loops forever)."""
+    if step.act is not None:
+        step.act(cluster)
     if step.gen is None:
         sim.run(until=sim.now + step.advance)
         return
+    client = cluster.client(1 if step.survivor else 0)
     deadline = sim.now + STEP_BOUND_S
-    proc = sim.process(step.gen(victim), name=f"step:{step.name}")
+    proc = sim.process(step.gen(client), name=f"step:{step.name}")
     while not proc.triggered and sim._heap and sim._heap[0][0] <= deadline:
         sim.step()
     if not proc.triggered:
@@ -457,13 +685,26 @@ def _run_step(sim: Simulator, victim, step: Step) -> None:
         raise proc._value
 
 
+def _drain_breaches(cluster, sink: List[str]) -> None:
+    """Append every stale-epoch commit the fencing auditor recorded.
+
+    The :class:`~repro.core.lease.FencingRegistry` audit is independent of
+    client-side enforcement (it compares every commit that actually landed
+    against the highest token ever granted), so it catches zombie leaders
+    even when a seeded bug disables the in-path check."""
+    fencing = getattr(cluster.lease_service, "fencing", None)
+    if fencing is not None:
+        sink.extend(f"fencing: {b}" for b in fencing.drain_breaches())
+
+
 def profile(workload: Workload,
             bug: Optional[str] = None) -> Tuple[int, List[int], Optional[str]]:
     """Fault-free reference run. Returns ``(total victim ops, per-step
     op-count milestones, failure)`` — ``failure`` is set when a step failed
     even without any fault injected (itself a finding; the sweep still
     covers the ops up to that point)."""
-    sim, cluster, plan = _build(bug, params=workload.params)
+    sim, cluster, plan = _build(bug, params=workload.params,
+                                n_lease_managers=workload.n_lease_managers)
     victim = cluster.client(0)
     plan.crash_victim = victim.node.name   # count, but never crash
     try:
@@ -476,18 +717,27 @@ def profile(workload: Workload,
     failure: Optional[str] = None
     for step in workload.steps:
         try:
-            _run_step(sim, victim, step)
+            _run_step(sim, cluster, step)
         except Exception as exc:  # noqa: BLE001 - reported, not masked
             failure = f"step {step.name!r}: {exc!r}"
             break
         milestones.append(plan.victim_ops)
+    if failure is None:
+        # Even the fault-free run is audited: a zombie leader committing
+        # under a stale epoch is a finding with no crash injected at all.
+        breaches: List[str] = []
+        _drain_breaches(cluster, breaches)
+        if breaches:
+            failure = breaches[0] if len(breaches) == 1 else \
+                f"{breaches[0]} (+{len(breaches) - 1} more)"
     return plan.victim_ops, milestones, failure
 
 
 def check_point(workload: Workload, k: int, milestones: List[int],
                 bug: Optional[str] = None) -> CrashPointResult:
     """Crash the victim at its k-th store op, recover, check invariants."""
-    sim, cluster, plan = _build(bug, params=workload.params)
+    sim, cluster, plan = _build(bug, params=workload.params,
+                                n_lease_managers=workload.n_lease_managers)
     victim, survivor = cluster.client(0), cluster.client(1)
     plan.crash_at(victim.node.name, k, handler=victim.crash)
     try:
@@ -503,7 +753,7 @@ def check_point(workload: Workload, k: int, milestones: List[int],
     completed = 0
     for step in workload.steps:
         try:
-            _run_step(sim, victim, step)
+            _run_step(sim, cluster, step)
         except InjectedCrash:
             break
         except Exception as exc:  # noqa: BLE001
@@ -566,6 +816,7 @@ def check_point(workload: Workload, k: int, milestones: List[int],
             violations.append(f"invariant check errored: {exc!r}")
 
     violations.extend(plan.violations)
+    _drain_breaches(cluster, violations)
     flight = None
     if violations:
         rec = sim._recorder

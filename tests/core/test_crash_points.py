@@ -26,7 +26,8 @@ SLOW = bool(os.environ.get("REPRO_SLOW"))
 
 # Strides chosen so each tier-1 sweep checks ~7 points spread across the
 # whole workload (including the recovery-heavy tail).
-BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5), ("pack", 11)]
+BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5), ("pack", 11),
+           ("shard_split", 16), ("epoch_handoff", 5)]
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -69,7 +70,8 @@ def test_full_rename_sweep_every_store_op():
 
 
 @pytest.mark.skipif(not SLOW, reason="exhaustive sweep; set REPRO_SLOW=1")
-@pytest.mark.parametrize("name", ["mkdir", "checkpoint", "pack"])
+@pytest.mark.parametrize("name", ["mkdir", "checkpoint", "pack",
+                                  "shard_split", "epoch_handoff"])
 def test_full_sweep_other_workloads(name):
     report = sweep(name, stride=1)
     assert report.ok, report.summary()
@@ -98,6 +100,19 @@ def test_seeded_pretend_fsync_bug_is_caught():
     assert report.violations
     text = "\n".join(v for _, v in report.violations)
     assert "durability" in text or "invariant" in text or "holds" in text
+
+
+def test_seeded_fence_blind_bug_is_caught():
+    """A zombie leader — fencing enforcement off plus an inflated lease
+    belief — keeps committing under a deposed authority's epoch after the
+    epoch_handoff workload fails every manager range over. The
+    FencingRegistry audit (independent of the disabled in-path check)
+    must flag the stale-epoch commits already in the fault-free run."""
+    assert "fence-blind" in SEEDED_BUGS
+    report = sweep("epoch_handoff", stride=16, bug="fence-blind")
+    assert not report.ok
+    assert report.profile_failure is not None
+    assert "stale-epoch commit" in report.profile_failure
 
 
 def test_cli_exit_codes():

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import build_arkfs
-from repro.core.lease import LeaseManagerCluster
+from repro.core.lease import (LeaseGrant, LeaseManager, LeaseManagerCluster,
+                              LeaseWait)
 from repro.core.params import DEFAULT_PARAMS
 from repro.posix import ROOT_CREDS, SyncFS
 from repro.sim import Network, Node, Simulator
@@ -92,6 +93,74 @@ class TestFileSystemOnCluster:
         fs0.write_file("/s/f", b"")
         stats = cluster.lease_service.stats
         assert stats["acquire"] >= 2  # / and /s at least
+
+
+class TestPerRangeRestartFence:
+    """Regression for the stale-lease edge where a restarted manager
+    refused ALL grants for one lease period. In cluster mode the refusal
+    is scoped to the recovered range: directories on the restarted
+    manager's OTHER serving ranges — and on every other manager — grant
+    immediately."""
+
+    @staticmethod
+    def _svc(n=4):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [Node(sim, f"m{i}", net=net) for i in range(n)]
+        return sim, LeaseManagerCluster(sim, nodes, DEFAULT_PARAMS)
+
+    @staticmethod
+    def _ino_on_range(svc, idx, avoid=None):
+        for i in range(10_000):
+            ino = 0xBEEF00 + i
+            if svc.range_index(ino) == idx and ino != avoid:
+                return ino
+        raise AssertionError("no ino found for range")
+
+    def test_restart_fences_only_the_recovered_range(self):
+        sim, svc = self._svc()
+        fenced_ino = self._ino_on_range(svc, 0)
+        other_ino = self._ino_on_range(svc, 1)
+        svc.restart_manager(0)
+        resp = sim.run_process(svc.managers[0]._h_acquire(fenced_ino, "c"))
+        assert isinstance(resp, LeaseWait)
+        assert resp.reason == "range-fenced"
+        assert resp.retry_at == svc.ranges[0].fence_until
+        # A directory on a different range grants with zero wait.
+        resp = sim.run_process(svc.shard_of(other_ino)
+                               ._h_acquire(other_ino, "c"))
+        assert isinstance(resp, LeaseGrant), resp
+
+    def test_restarted_manager_serves_its_unrecovered_ranges(self):
+        """After a crash, the restarted home manager's range is fenced but
+        a range it took over earlier (and still owns) keeps serving."""
+        sim, svc = self._svc(2)
+        svc.crash_manager(0)          # m1 now owns ranges 0 and 1
+        taken = self._ino_on_range(svc, 0)
+        home = self._ino_on_range(svc, 1)
+
+        def _sleep(dt):
+            yield sim.timeout(dt)
+        sim.run_process(_sleep(svc.ranges[0].fence_until - sim.now + 1e-9))
+        svc.restart_manager(1)        # re-fences range 1 only
+        resp = sim.run_process(svc.managers[1]._h_acquire(home, "c"))
+        assert isinstance(resp, LeaseWait)
+        assert resp.reason == "range-fenced"
+        resp = sim.run_process(svc.managers[1]._h_acquire(taken, "c"))
+        assert isinstance(resp, LeaseGrant), resp
+
+    def test_standalone_restart_still_gates_globally(self):
+        """The single-manager build keeps the conservative global gate —
+        the per-range scoping is a cluster-mode property."""
+        sim = Simulator()
+        net = Network(sim)
+        mgr = LeaseManager(sim, Node(sim, "m0", net=net), DEFAULT_PARAMS)
+        grant = sim.run_process(mgr._h_acquire(0x1, "c"))
+        assert isinstance(grant, LeaseGrant)
+        mgr.restart()
+        resp = sim.run_process(mgr._h_acquire(0x2, "c"))
+        assert isinstance(resp, LeaseWait)
+        assert resp.reason == "manager-restarted"
 
 
 class TestManagerScalability:

@@ -1,0 +1,196 @@
+"""Property tests for the elastic metadata plane's two hash rings.
+
+1. The *directory shard* ring (``repro.core.shards``): the hash-range map
+   must be a total partition of the 32-bit name-hash space — every name
+   routes to exactly one shard — and the routing function must be stable
+   across the whole split lifecycle (splitting map, active map, and a
+   serialization round-trip all agree), because clients cache maps at
+   different points of the protocol.
+
+2. The *lease manager* ring (``LeaseManagerCluster``): range authority
+   epochs must be monotonic under ARBITRARY kill / restart / failover
+   schedules, every range's owner must always be a live manager, and every
+   authority change must raise a fence. Epoch reuse anywhere would let a
+   deposed manager's grants pass the journal's fencing check.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lease import LeaseGrant, LeaseManagerCluster, LeaseWait
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.shards import (
+    HASH_SPACE,
+    ShardMap,
+    ShardRange,
+    make_ranges,
+    name_hash,
+)
+from repro.sim import Network, Node, Simulator
+
+# -- strategy helpers ---------------------------------------------------------
+
+fanouts = st.integers(min_value=2, max_value=16)
+names = st.lists(st.text(min_size=1, max_size=24), max_size=40)
+hashes = st.lists(st.integers(min_value=0, max_value=HASH_SPACE - 1),
+                  max_size=40)
+
+
+def _smap(fanout: int, state: str = ShardMap.ACTIVE) -> ShardMap:
+    shards = [ShardRange(0x1000 + i, lo, hi)
+              for i, (lo, hi) in enumerate(make_ranges(fanout))]
+    return ShardMap(0x7, state, shards)
+
+
+# -- 1. the shard map is a total partition ------------------------------------
+
+
+@given(fanout=fanouts)
+def test_make_ranges_is_a_total_partition(fanout):
+    ranges = make_ranges(fanout)
+    assert len(ranges) == fanout
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == HASH_SPACE
+    for (_lo1, hi1), (lo2, _hi2) in zip(ranges, ranges[1:]):
+        assert hi1 == lo2, "ranges must be contiguous"
+    assert sum(hi - lo for lo, hi in ranges) == HASH_SPACE
+    assert all(lo < hi for lo, hi in ranges), "no empty ranges"
+
+
+@given(fanout=fanouts, names=names, hashes=hashes)
+def test_every_name_routes_to_exactly_one_shard(fanout, names, hashes):
+    smap = _smap(fanout)
+    for h in hashes + [name_hash(n) for n in names]:
+        covering = [r for r in smap.shards if r.covers(h)]
+        assert len(covering) == 1, (h, covering)
+        assert smap.shard_for_hash(h) is covering[0]
+
+
+@given(fanout=fanouts, names=names)
+def test_routing_is_stable_across_the_split_lifecycle(fanout, names):
+    """A client holding the SPLITTING map, one holding the ACTIVE map, and
+    one that just deserialized the map from the store must all route every
+    name identically — the partition is fixed the moment it is published."""
+    splitting = _smap(fanout, ShardMap.SPLITTING)
+    active = splitting.with_state(ShardMap.ACTIVE)
+    thawed = ShardMap.from_bytes(active.to_bytes())
+    for n in names:
+        assert splitting.route(n) == active.route(n) == thawed.route(n)
+    assert thawed.shard_inos() == active.shard_inos()
+    assert thawed.home_ino() == active.home_ino()
+
+
+@given(fanout=st.integers(min_value=3, max_value=16),
+       drop=st.integers(min_value=0, max_value=15))
+def test_maps_with_holes_are_rejected(fanout, drop):
+    """Removing any one range from a valid map must fail validation: a
+    hole means some names route nowhere."""
+    shards = [ShardRange(0x1000 + i, lo, hi)
+              for i, (lo, hi) in enumerate(make_ranges(fanout))]
+    del shards[drop % fanout]
+    with pytest.raises(ValueError):
+        ShardMap(0x7, ShardMap.ACTIVE, shards)
+
+
+def test_degenerate_maps_are_rejected():
+    with pytest.raises(ValueError):
+        make_ranges(1)
+    with pytest.raises(ValueError):
+        ShardMap(1, ShardMap.ACTIVE, [])
+    with pytest.raises(ValueError):  # does not reach HASH_SPACE
+        ShardMap(1, ShardMap.ACTIVE, [ShardRange(2, 0, 10)])
+    with pytest.raises(ValueError):  # overlap
+        ShardMap(1, ShardMap.ACTIVE,
+                 [ShardRange(2, 0, 10), ShardRange(3, 5, HASH_SPACE)])
+    with pytest.raises(ValueError):  # unknown state
+        ShardMap(1, "frozen", [ShardRange(2, 0, HASH_SPACE)])
+
+
+# -- 2. epoch monotonicity on the manager ring --------------------------------
+
+events = st.lists(
+    st.tuples(st.sampled_from(["crash", "restart", "failover"]),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=50)
+
+
+def _cluster(n: int) -> LeaseManagerCluster:
+    sim = Simulator()
+    net = Network(sim)
+    nodes = [Node(sim, f"m{i}", net=net) for i in range(n)]
+    return LeaseManagerCluster(sim, nodes, DEFAULT_PARAMS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=2, max_value=5), events=events)
+def test_epochs_monotonic_under_arbitrary_schedules(n, events):
+    """Under any interleaving of manager crashes, restarts, and explicit
+    failovers: every range's epoch only ever grows, each authority change
+    bumps the epoch (no epoch is ever served by two owners), owners are
+    always live managers, and each bump raises a fresh fence."""
+    svc = _cluster(n)
+    seen = {rs.index: (rs.epoch, rs.owner) for rs in svc.ranges}
+    for kind, x in events:
+        i = x % n
+        live = [j for j in range(n) if j not in svc._down]
+        if kind == "crash":
+            if i in svc._down or len(live) < 2:
+                continue  # a dead cluster has no authority to misbehave
+            svc.crash_manager(i)
+        elif kind == "restart":
+            svc.restart_manager(i)
+        else:
+            if len(live) < 2:
+                continue
+            svc.fail_over(i)
+        for rs in svc.ranges:
+            old_epoch, old_owner = seen[rs.index]
+            assert rs.epoch >= old_epoch, "epoch went backwards"
+            if rs.owner != old_owner:
+                assert rs.epoch > old_epoch, \
+                    "authority changed without an epoch bump"
+            if rs.epoch > old_epoch:
+                assert rs.fence_until >= svc.sim.now, \
+                    "epoch bump must raise a fence"
+            assert rs.owner not in svc._down, "range owned by a dead manager"
+            seen[rs.index] = (rs.epoch, rs.owner)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=4), events=events)
+def test_stale_epoch_grants_rejected_after_any_schedule(n, events):
+    """After an arbitrary schedule, a manager that is NOT the current range
+    owner must refuse to grant (LeaseWait, not a grant), and the current
+    owner's grant must carry the current epoch — the token the journal
+    fences commits against."""
+    svc = _cluster(n)
+    sim = svc.sim
+    for kind, x in events:
+        i = x % n
+        live = [j for j in range(n) if j not in svc._down]
+        if kind == "crash":
+            if i in svc._down or len(live) < 2:
+                continue
+            svc.crash_manager(i)
+        elif kind == "restart":
+            svc.restart_manager(i)
+        else:
+            if len(live) < 2:
+                continue
+            svc.fail_over(i)
+    dir_ino = 0xD1
+    rs = svc.range_for(dir_ino)
+    for idx, m in enumerate(svc.managers):
+        if idx in svc._down or idx == rs.owner:
+            continue
+        resp = sim.run_process(m._h_acquire(dir_ino, "c"))
+        assert isinstance(resp, LeaseWait), \
+            "a deposed manager must not grant"
+    # Let the fence lapse, then the real owner grants at the live epoch.
+    def _sleep(dt):
+        yield sim.timeout(dt)
+    sim.run_process(_sleep(max(0.0, rs.fence_until - sim.now) + 1e-9))
+    resp = sim.run_process(svc.managers[rs.owner]._h_acquire(dir_ino, "c"))
+    assert isinstance(resp, LeaseGrant), resp
+    assert resp.mgr_epoch == rs.epoch
