@@ -61,6 +61,7 @@ GATED_PATTERNS = [
     r"\.obs\.root_ops$",
     r"\.obs\.sampled_ops$",
     r"\.faults\.transient$",
+    r"\.tier\.(hits|promotions|demotions)$",
 ]
 _GATED = [re.compile(p) for p in GATED_PATTERNS]
 

@@ -20,6 +20,7 @@ from .harness import (
     Scale,
     build,
 )
+from .tiering import format_tier_report, tier_ablation, tier_aged_read
 from .report import (
     format_attribution_merged,
     format_fanout,
@@ -51,6 +52,9 @@ __all__ = [
     "format_slowlog",
     "format_speedups",
     "format_table",
+    "format_tier_report",
+    "tier_ablation",
+    "tier_aged_read",
     "io500_run",
     "io500_table",
     "table2_archiving",

@@ -1,7 +1,9 @@
 """Command-line figure regeneration: ``python -m repro.bench [targets...]``.
 
-Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 all (default: all).
-Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
+Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 io500 tier
+(default: all). ``--tier`` is shorthand for adding the ``tier`` target —
+the A10 hot/cold tiering ablation (aged-read latency, hit rate, cold GET
+savings). Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
 cross-layer spans for every simulated cluster the run builds: the file is
 Chrome trace-event JSON (load it at https://ui.perfetto.dev), and a
 per-phase latency-attribution table is printed per file-system kind.
@@ -42,11 +44,13 @@ from . import (
     format_series,
     format_slowlog,
     format_table,
+    format_tier_report,
     table2_archiving,
+    tier_ablation,
 )
 
 TARGETS = ("fig1", "fig4", "fig5", "fig6a", "fig6b", "fig7", "table2",
-           "io500")
+           "io500", "tier")
 
 
 def run_target(name: str, scale) -> None:
@@ -79,6 +83,8 @@ def run_target(name: str, scale) -> None:
 
         print("IO500-style combined scores")
         print(io500_table(scale=scale))
+    elif name == "tier":
+        print(format_tier_report(tier_ablation(scale)))
     else:
         raise SystemExit(f"unknown target {name!r}; pick from {TARGETS}")
     print(f"[{name}: {time.time() - t0:.1f}s wall]\n")
@@ -148,6 +154,8 @@ def main(argv) -> None:
             slowlog_path = a.split("=", 1)[1]
         elif a.startswith("--flight="):
             flight_path = a.split("=", 1)[1]
+        elif a == "--tier":
+            args.append("tier")
         elif not a.startswith("-"):
             args.append(a)
     if fault_mode not in (None, "transient"):

@@ -24,7 +24,8 @@ from ..baselines import (
 )
 from ..core import DEFAULT_PARAMS, build_arkfs
 from ..obs import DEFAULT_SAMPLE_INTERVAL, Observability, Series
-from ..objectstore.profiles import KiB, MiB, RADOS_PROFILE, S3_PROFILE
+from ..objectstore.profiles import (KiB, MiB, RADOS_PROFILE, S3_COLD_PROFILE,
+                                    S3_PROFILE)
 from ..sim.engine import Simulator
 from ..sim.network import NetParams
 
@@ -156,6 +157,12 @@ def _attach_obs(kind: str, sim: Simulator, cluster) -> None:
         store = getattr(cluster, "store", None)
         for osd in getattr(store, "osds", ()):
             obs.sample_resource(f"osd{osd.index}.q", osd.queue)
+        # Tiered backend: sample both tiers' OSD queues, name-prefixed.
+        for tier_name in ("hot", "cold"):
+            tier_store = getattr(store, tier_name, None)
+            for osd in getattr(tier_store, "osds", ()):
+                obs.sample_resource(f"{tier_name}.osd{osd.index}.q",
+                                    osd.queue)
         mds = getattr(cluster, "mds", None)
         if mds is not None:  # cephfs / marfs metadata service
             for m in mds.mds:
@@ -172,6 +179,8 @@ FS_KINDS = (
     "arkfs-no-pcache",
     "arkfs-s3",         # ArkFS (ra 8 MB) on the S3 profile
     "arkfs-s3-ra400",   # ArkFS with 400 MB read-ahead on S3
+    "arkfs-cold",       # ArkFS on the cold-S3 profile (single tier)
+    "arkfs-tier",       # ArkFS, hot RADOS tier over the cold-S3 tier
     "cephfs-k",         # kernel mount, 1 MDS
     "cephfs-k16",       # kernel mount, 16 MDSs
     "cephfs-f",         # ceph-fuse mount, 1 MDS
@@ -196,18 +205,29 @@ def build(kind: str, sim: Simulator, n_clients: int,
 
 def _build(kind: str, sim: Simulator, n_clients: int,
            net: NetParams, cache_capacity: int, client_cores: int):
-    if kind in ("arkfs", "arkfs-no-pcache", "arkfs-s3", "arkfs-s3-ra400"):
+    if kind in ("arkfs", "arkfs-no-pcache", "arkfs-s3", "arkfs-s3-ra400",
+                "arkfs-cold", "arkfs-tier"):
         params = DEFAULT_PARAMS.with_(
             permission_cache=(kind != "arkfs-no-pcache"),
             cache_capacity_bytes=cache_capacity,
         )
         profile = RADOS_PROFILE
+        cold_profile = None
         if kind == "arkfs-s3":
             profile = S3_PROFILE
         elif kind == "arkfs-s3-ra400":
             profile = S3_PROFILE
             params = params.with_(max_readahead=400 * MiB,
                                   cache_capacity_bytes=512 * MiB)
+        elif kind == "arkfs-cold":
+            # The tiering ablation's baseline: every access pays the cold
+            # capacity tier's first-byte latency.
+            profile = S3_COLD_PROFILE
+        elif kind == "arkfs-tier":
+            # Hot RADOS-like tier fronting the same cold store (A10).
+            profile = RADOS_PROFILE
+            cold_profile = S3_COLD_PROFILE
+            params = params.with_(tier_enabled=True)
         faults = None
         if BENCH_OBS.fault_mode == "transient":
             from ..faults import FaultPlan
@@ -216,7 +236,8 @@ def _build(kind: str, sim: Simulator, n_clients: int,
             faults.transient_every = BENCH_OBS.transient_every
         cluster = build_arkfs(sim, n_clients=n_clients, params=params,
                               store_profile=profile, net_params=net,
-                              client_cores=client_cores, faults=faults)
+                              client_cores=client_cores, faults=faults,
+                              cold_profile=cold_profile)
         return cluster, cluster.mounts
 
     if kind in ("cephfs-k", "cephfs-k16", "cephfs-f"):

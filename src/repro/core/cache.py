@@ -550,6 +550,11 @@ class DataObjectCache:
             # fsync contract: chunks the writebacks appended to the open
             # container must be durable before flush returns.
             yield from self._pack.flush_inos(inos)
+        drain = getattr(self.prt.store, "tier_drain_all", None)
+        if drain is not None:
+            # Tiered backend: writebacks only staged the objects hot; the
+            # fsync contract needs them drained to the cold (durable) tier.
+            yield from drain(src=self.node)
 
     def flush_all(self) -> SimGen:
         yield from self.flush_many(list(self._files))

@@ -15,7 +15,9 @@ from typing import List, Optional
 from ..objectstore.base import ObjectStore
 from ..objectstore.cluster import ClusterObjectStore
 from ..objectstore.memory import InMemoryObjectStore
-from ..objectstore.profiles import RADOS_PROFILE, StoreProfile
+from ..objectstore.profiles import (RADOS_PROFILE, S3_COLD_PROFILE,
+                                    StoreProfile)
+from ..objectstore.tiered import TieredObjectStore
 from ..posix.fuse import FUSE_DEFAULTS, FuseMount, MountParams
 from ..posix.types import FileType
 from ..sim.engine import Simulator
@@ -73,6 +75,7 @@ def build_arkfs(
     seed: int = 0,
     n_lease_managers: int = 1,
     faults: Optional["FaultPlan"] = None,
+    cold_profile: Optional[StoreProfile] = None,
 ) -> ArkFSCluster:
     """Build a full ArkFS cluster.
 
@@ -94,17 +97,50 @@ def build_arkfs(
     parameter.
     """
     net = Network(sim, net_params or NetParams())
-    if store is None:
+    if store is None and params.tier_enabled:
+        # Hot/cold tiered backend: a fast RADOS-like tier fronting a cold
+        # capacity store. The fault shim wraps *each* tier so every
+        # stage/drain/promote/demote store op is a crash point, while the
+        # tier itself stays unwrapped — crashcheck reaches lose_hot() and
+        # the dirty-key bookkeeping directly on ``cluster.store``.
         if functional:
-            store = InMemoryObjectStore(sim)
+            hot: ObjectStore = InMemoryObjectStore(sim)
+            cold: ObjectStore = InMemoryObjectStore(sim)
         else:
-            store = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
-                                       net=net)
-    if faults is not None:
-        from ..faults.store import FaultyObjectStore
-        store = FaultyObjectStore(store, faults)
-        net.faults = faults
-        faults.attach(sim)
+            hot = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
+                                     net=net)
+            cold = ClusterObjectStore(sim, cold_profile or S3_COLD_PROFILE,
+                                      net=net)
+        if faults is not None:
+            from ..faults.store import FaultyObjectStore
+            hot = FaultyObjectStore(hot, faults)
+            cold = FaultyObjectStore(cold, faults)
+            net.faults = faults
+            faults.attach(sim)
+        store = TieredObjectStore(
+            sim, hot, cold,
+            hot_capacity=params.tier_hot_capacity,
+            high_watermark=params.tier_high_watermark,
+            low_watermark=params.tier_low_watermark,
+            dirty_max=params.tier_dirty_max,
+            drain_interval=params.tier_drain_interval,
+            drain_batch=params.tier_drain_batch,
+            promote_max=params.tier_promote_max,
+            retry=RetryPolicy.from_params(sim, params),
+        )
+    else:
+        if store is None:
+            if functional:
+                store = InMemoryObjectStore(sim)
+            else:
+                store = ClusterObjectStore(sim,
+                                           store_profile or RADOS_PROFILE,
+                                           net=net)
+        if faults is not None:
+            from ..faults.store import FaultyObjectStore
+            store = FaultyObjectStore(store, faults)
+            net.faults = faults
+            faults.attach(sim)
     prt = PRT(store, params.data_object_size,
               retry=RetryPolicy.from_params(sim, params),
               pack_enabled=params.pack_enabled)

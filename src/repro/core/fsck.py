@@ -336,4 +336,14 @@ def fsck(prt: PRT, src: Optional[Node] = None,
     for key in decision_keys:
         report.warnings.append(f"stale 2PC decision record: {key}")
 
+    # -- tiered backend: staged-not-drained objects ----------------------------------------
+    # Hot-only state is volatile by contract (durable only once drained to
+    # the cold tier); surface it so operators see what a crash would lose.
+    # Never an error: nothing above fsync'd data ever stays hot-only.
+    dirty_keys = getattr(prt.store, "tier_dirty_keys", None)
+    if dirty_keys is not None:
+        for key in dirty_keys():
+            report.warnings.append(
+                f"staged object not yet drained to cold tier: {key}")
+
     return report

@@ -455,6 +455,11 @@ class PackWriter:
                 self._c_reclaimed_bytes.inc(total)
             elif total and live / total < self.params.pack_compact_live_ratio:
                 yield from self.compact(pack_id)
+        tier = getattr(self.prt.store, "tier_maintain", None)
+        if tier is not None:
+            # Tiered backend rides this ticker for its lifecycle work:
+            # drain a staged batch to cold and demote past the watermark.
+            yield from tier(src=self.node)
 
     def compact(self, pack_id: str) -> SimGen:
         """Rewrite a mostly-dead container: re-append its still-live

@@ -70,6 +70,23 @@ class ArkFSParams:
                                            # count crosses this
     shard_fanout: int = 4                  # hash-ranged sub-shards per split
 
+    # --- hot/cold tiered object store ---------------------------------------
+    tier_enabled: bool = False             # off by default: runs stay
+                                           # structurally identical to a build
+                                           # without the tier subsystem
+    tier_hot_capacity: int = 64 * MiB      # fast-tier resident-byte budget
+    tier_high_watermark: float = 0.9       # demote once hot bytes exceed
+                                           # high * capacity ...
+    tier_low_watermark: float = 0.7        # ... down to low * capacity
+    tier_dirty_max: int = 32 * MiB         # staged-not-drained byte bound;
+                                           # writers wait for the drain (never
+                                           # for demotion) beyond this
+    tier_drain_interval: float = 0.5       # background drain ticker period
+    tier_drain_batch: int = 32             # objects per drain batch
+    tier_promote_max: int = 8 * MiB        # promote whole objects up to this
+                                           # size; larger ones (pack
+                                           # containers) serve range GETs cold
+
     # --- transient-failure handling (client-side store SDK behavior) --------
     store_retry_limit: int = 6             # retries per op before giving up
     store_retry_base: float = 1e-3         # first backoff; doubles per retry

@@ -111,6 +111,11 @@ class Workload:
     invariants: Optional[Callable] = None   # (SyncFS, violations) -> None
     params: Optional[ArkFSParams] = None    # cluster params override
     n_lease_managers: int = 1               # >1 builds a LeaseManagerCluster
+    # Factory ``cluster -> handler()`` replacing the default crash action
+    # (victim.crash). The tier workload uses it to also lose the volatile
+    # hot tier at the crash instant — node RAM and fast-tier media go
+    # together in the modelled failure.
+    crash_handler: Optional[Callable] = None
 
 
 def _wl_mkdir_heavy() -> Workload:
@@ -510,6 +515,112 @@ def _wl_epoch_handoff() -> Workload:
                     invariants=invariants, n_lease_managers=3)
 
 
+def _wl_tier_drain() -> Workload:
+    """Hot/cold tiered store: crash points across the whole staged-object
+    lifecycle — hot-tier staging PUTs, the fsync drain barrier, the
+    background drain ticker, demand promotions on read, and watermark
+    demotion deletes.
+
+    A tiny hot capacity (192 KB against ~280 KB of ~30–40 KB files) and
+    dirty bound force drain rounds and watermark demotions mid-workload.
+    The crash model is the tier's worst case: the victim dies *and* the
+    fast tier's contents are lost with it (``lose_hot``), so everything
+    fsync'd/synced must be readable from the cold tier + journal alone —
+    hot-only state is volatile by contract."""
+    params = DEFAULT_PARAMS.with_(
+        tier_enabled=True, tier_hot_capacity=192 * KiB,
+        tier_high_watermark=0.75, tier_low_watermark=0.5,
+        tier_dirty_max=128 * KiB, tier_drain_interval=0.4,
+        tier_drain_batch=4, tier_promote_max=64 * KiB)
+    content = {i: bytes([98 + i]) * (30_000 + 1_500 * i) for i in range(8)}
+
+    def setup(c):
+        yield from c.mkdir(ROOT_CREDS, "/t")
+        yield from c.sync()
+
+    def crash_handler(cluster):
+        victim = cluster.client(0)
+
+        def handler():
+            victim.crash()
+            cluster.store.lose_hot()
+
+        return handler
+
+    def wr(i, fsync):
+        return lambda c: c.write_file(ROOT_CREDS, f"/t/f{i}", content[i],
+                                      do_fsync=fsync)
+
+    def drained_check(i):
+        def check(fs):
+            if i == 1:
+                # The later unlink step may have removed it — or a crash
+                # mid-unlink purged the data before the namespace commit,
+                # leaving the name reading zeros (the same torn-unlink
+                # state the pack workload's contract allows).
+                if not fs.exists("/t/f1"):
+                    return
+                got = fs.read_file("/t/f1")
+                assert got in (content[1], b"\x00" * len(got)), \
+                    f"/t/f1 holds {len(got)} unexpected bytes"
+                return
+            got = fs.read_file(f"/t/f{i}")
+            assert got == content[i], \
+                f"/t/f{i} holds {len(got)} bytes != expected"
+        return check
+
+    def synced_check(fs):
+        for i in range(4, 8):
+            got = fs.read_file(f"/t/f{i}")
+            assert got == content[i], \
+                f"/t/f{i} holds {len(got)} bytes != expected"
+
+    def gone_check(fs):
+        assert not fs.exists("/t/f1"), "/t/f1 survived unlink"
+
+    def rd(i):
+        return lambda c: c.read_file(ROOT_CREDS, f"/t/f{i}")
+
+    # fsync = staged hot + drain barrier: durable at cold on return, so it
+    # must survive losing the entire hot tier at any later crash point.
+    steps = [Step(f"fsync:f{i}", gen=wr(i, True), durable=drained_check(i))
+             for i in range(4)]
+    # Let the drain ticker and the watermark demoter run mid-workload.
+    steps.append(Step("advance-drain", advance=1.0))
+    # Demand reads: hot hits for resident objects, cold GET + promotion
+    # for demoted ones — crash points inside the promotion PUTs too.
+    steps.append(Step("read:f0", gen=rd(0)))
+    steps.append(Step("read:f1", gen=rd(1)))
+    steps += [Step(f"write:f{i}", gen=wr(i, False)) for i in range(4, 8)]
+    steps.append(Step("sync-1", gen=lambda c: c.sync(),
+                      durable=synced_check))
+    steps.append(Step("unlink:f1",
+                      gen=lambda c: c.unlink(ROOT_CREDS, "/t/f1")))
+    steps.append(Step("sync-2", gen=lambda c: c.sync(),
+                      durable=gone_check))
+    # Everything is clean now; the demoter evicts past the watermark.
+    steps.append(Step("advance-demote", advance=1.0))
+    steps.append(Step("sync-3", gen=lambda c: c.sync()))
+
+    def invariants(fs, violations):
+        # Exact-or-zeros, as in the pack workload: a surviving name must
+        # read its content or zeros (bytes that lived only in the victim's
+        # cache or the lost hot tier) — never torn or foreign bytes.
+        for i in range(8):
+            path = f"/t/f{i}"
+            if not fs.exists(path):
+                continue
+            got = fs.read_file(path)
+            if got not in (content[i], b"\x00" * len(got), b""):
+                violations.append(
+                    f"{path} holds {len(got)} bytes that are neither its "
+                    f"content nor zeros")
+
+    return Workload("tier_drain", setup=setup, steps=steps,
+                    invariants=invariants, params=params,
+                    crash_handler=crash_handler)
+
+
 def _noop_setup(client):
     yield client.sim.timeout(0)
 
@@ -525,6 +636,7 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "pack": _wl_pack,
     "shard_split": _wl_shard_split,
     "epoch_handoff": _wl_epoch_handoff,
+    "tier_drain": _wl_tier_drain,
 }
 
 
@@ -586,10 +698,33 @@ def _bug_fence_blind(cluster) -> None:
     victim._acquire_dir = immortal_acquire
 
 
+def _bug_tier_drain_reorder(cluster) -> None:
+    """Drain bookkeeping ahead of durability: the tier's cold-PUT leg holds
+    each drain batch back and only flushes the *previous* one, so every
+    batch is marked clean (and the fsync barrier returns) one round before
+    its bytes actually reach cold. Fault-free runs look fine — reads still
+    hit the hot copy — but a crash that loses the hot tier after any fsync
+    deterministically loses the most recent 'drained' batch, which the
+    durability milestones must expose."""
+    store = cluster.store  # the TieredObjectStore (unwrapped by design)
+    real = store._drain_cold_put
+    pending: List[list] = []
+
+    def reordered(items, src):
+        pending.append(list(items))
+        if len(pending) > 1:
+            yield from real(pending.pop(0), src)
+        else:
+            yield store.sim.timeout(0)
+
+    store._drain_cold_put = reordered
+
+
 SEEDED_BUGS: Dict[str, Callable] = {
     "lost-commit": _bug_lost_commit,
     "pretend-fsync": _bug_pretend_fsync,
     "fence-blind": _bug_fence_blind,
+    "tier-drain-reorder": _bug_tier_drain_reorder,
 }
 
 
@@ -739,7 +874,9 @@ def check_point(workload: Workload, k: int, milestones: List[int],
     sim, cluster, plan = _build(bug, params=workload.params,
                                 n_lease_managers=workload.n_lease_managers)
     victim, survivor = cluster.client(0), cluster.client(1)
-    plan.crash_at(victim.node.name, k, handler=victim.crash)
+    handler = (victim.crash if workload.crash_handler is None
+               else workload.crash_handler(cluster))
+    plan.crash_at(victim.node.name, k, handler=handler)
     try:
         sim.run_process(workload.setup(victim),
                         name=f"{workload.name}.setup")

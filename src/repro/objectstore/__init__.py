@@ -11,6 +11,7 @@ from .cluster import ClusterObjectStore, LocalDisk
 from .errors import NoSuchKey, ObjectStoreError, StoreUnavailable
 from .memory import InMemoryObjectStore
 from .rest import RestAPIRegistry, RestObjectStore
+from .tiered import TieredObjectStore
 from .profiles import (
     EBS_GP_1GBS,
     EBS_SLOW_CACHE,
@@ -19,6 +20,7 @@ from .profiles import (
     MiB,
     RADOS_EC_PROFILE,
     RADOS_PROFILE,
+    S3_COLD_PROFILE,
     S3_PROFILE,
     DiskProfile,
     StoreProfile,
@@ -41,7 +43,9 @@ __all__ = [
     "RADOS_PROFILE",
     "RestAPIRegistry",
     "RestObjectStore",
+    "S3_COLD_PROFILE",
     "S3_PROFILE",
     "StoreProfile",
     "StoreUnavailable",
+    "TieredObjectStore",
 ]

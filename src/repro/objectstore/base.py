@@ -70,6 +70,35 @@ class ObjectStore(ABC):
     # client-NIC enqueue while still contending at the per-OSD queues.
     # Implementations must expose a ``sim`` attribute (they all do).
 
+    # Partial-batch contract (all three batched fallbacks): every per-key
+    # sub-operation runs to completion before the batch returns *or* raises
+    # — a failure on one key never abandons a sibling mid-flight, and every
+    # non-failing sub-operation is applied. On error, the first failure in
+    # key order is raised once all keys settle. Batches are therefore
+    # idempotent under whole-batch retry: a retry re-applies already-applied
+    # items and converges, which is what lets callers layering a
+    # ``RetryPolicy`` over a batch (the tiered store's drain, the cache
+    # writeback) compose with ``store_retry_*`` without double-wrapping.
+
+    def _settle(self, gens_by_key) -> SimGen:
+        """Run ``(key, gen)`` pairs concurrently; settle every one. Returns
+        the per-key payloads, raising the first error in key order only
+        after all have completed."""
+
+        def shield(gen: SimGen) -> SimGen:
+            try:
+                return ("ok", (yield from gen))
+            except Exception as exc:  # settle, re-raise after the batch
+                return ("err", exc)
+
+        procs = [self.sim.process(shield(gen), name=f"mop:{k}")
+                 for k, gen in gens_by_key]
+        settled = yield self.sim.all_of(procs)
+        for status, payload in settled:
+            if status == "err":
+                raise payload
+        return [payload for _, payload in settled]
+
     def get_many(self, keys: Sequence[str],
                  src: Optional[Node] = None) -> SimGen:
         """Fetch many objects concurrently.
@@ -89,21 +118,20 @@ class ObjectStore(ABC):
             return []
         if len(keys) == 1:
             return [(yield from one(keys[0]))]
-        procs = [self.sim.process(one(k), name=f"mget:{k}") for k in keys]
-        results = yield self.sim.all_of(procs)
-        return results
+        return (yield from self._settle([(k, one(k)) for k in keys]))
 
     def put_many(self, items: Sequence[Tuple[str, bytes]],
                  src: Optional[Node] = None) -> SimGen:
-        """Store many objects concurrently (fails fast on the first error)."""
+        """Store many objects concurrently. Every non-failing PUT is
+        applied; the first error in key order is raised after all settle
+        (see the partial-batch contract above)."""
         if not items:
             return
         if len(items) == 1:
             yield from self.put(items[0][0], items[0][1], src=src)
             return
-        procs = [self.sim.process(self.put(k, v, src=src), name=f"mput:{k}")
-                 for k, v in items]
-        yield self.sim.all_of(procs)
+        yield from self._settle(
+            [(k, self.put(k, v, src=src)) for k, v in items])
 
     def delete_many(self, keys: Sequence[str],
                     src: Optional[Node] = None) -> SimGen:
@@ -122,8 +150,7 @@ class ObjectStore(ABC):
             return 0
         if len(keys) == 1:
             return (yield from one(keys[0]))
-        procs = [self.sim.process(one(k), name=f"mdel:{k}") for k in keys]
-        removed = yield self.sim.all_of(procs)
+        removed = yield from self._settle([(k, one(k)) for k in keys])
         return sum(removed)
 
     # -- conveniences shared by all implementations -------------------------

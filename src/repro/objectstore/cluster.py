@@ -65,6 +65,9 @@ class ClusterObjectStore(ObjectStore):
     ):
         self.sim = sim
         self.profile = profile
+        # Fixed per-GET service time: request latency plus the cold-tier
+        # time-to-first-byte (0.0 on warm profiles — timing-identical).
+        self._get_fixed = profile.get_latency + profile.first_byte_latency
         self.net = net
         self.backing = InMemoryObjectStore(sim)
         self.osds = [_OSD(sim, i, profile) for i in range(profile.n_osds)]
@@ -162,7 +165,7 @@ class ClusterObjectStore(ObjectStore):
                 yield from self._ec_gather(key, len(data))
             else:
                 osd = self.osd_for(key)
-                yield from self._service(osd, self.profile.get_latency,
+                yield from self._service(osd, self._get_fixed,
                                          len(data))
             yield from self._client_leg(src, len(data))
         finally:
@@ -177,7 +180,7 @@ class ClusterObjectStore(ObjectStore):
         shard = -(-nbytes // k)
         reads = [
             self.sim.process(
-                self._service(osd, self.profile.get_latency, shard),
+                self._service(osd, self._get_fixed, shard),
                 name=f"ec-read{osd.index}")
             for osd in self.shards_for(key)[:k]
         ]
@@ -193,7 +196,7 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.get_range", "store")
         try:
             osd = self.osd_for(key)
-            yield from self._service(osd, self.profile.get_latency, len(data))
+            yield from self._service(osd, self._get_fixed, len(data))
             yield from self._client_leg(src, len(data))
         finally:
             sp.close()
@@ -309,7 +312,7 @@ class ClusterObjectStore(ObjectStore):
                     gen = self._ec_gather(key, len(data))
                 else:
                     gen = self._service(self.osd_for(key),
-                                        self.profile.get_latency, len(data))
+                                        self._get_fixed, len(data))
                 if tr is not None:
                     # Per-item span inside the scatter-gather batch.
                     gen = tr.wrap("store.get", gen, "store", key=key)

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 __all__ = ["StoreProfile", "RADOS_PROFILE", "RADOS_EC_PROFILE", "S3_PROFILE",
-           "DiskProfile", "EBS_GP_1GBS", "EBS_SLOW_CACHE", "KiB", "MiB",
-           "GiB"]
+           "S3_COLD_PROFILE", "DiskProfile", "EBS_GP_1GBS", "EBS_SLOW_CACHE",
+           "KiB", "MiB", "GiB"]
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -49,6 +49,16 @@ class StoreProfile:
     # k shards — the storage-efficiency/durability trade RADOS pools offer.
     erasure: Optional[Tuple[int, int]] = None
     ec_encode_latency: float = 60e-6   # CPU per stripe encode/decode
+    # Cold/archival tiers: extra time-to-first-byte a GET pays before any
+    # data moves (restore/queueing inside the service), charged on top of
+    # ``get_latency``. Zero for every warm profile, so adding the field is
+    # timing-neutral for existing deployments.
+    first_byte_latency: float = 0.0
+    # Request economics (accounting only — never charged as sim time):
+    # dollars per API request and per GiB retrieved, for the cost-savings
+    # line tiering reports (A10).
+    cost_per_request: float = 0.0
+    cost_per_gb: float = 0.0
 
     @property
     def storage_overhead(self) -> float:
@@ -94,6 +104,30 @@ S3_PROFILE = StoreProfile(
     per_stream_bw=90e6,
     replication=1,           # internal; not separately costed for S3
     capacity_bytes=1e15,     # S3 is effectively unbounded
+)
+
+
+#: Cold-capacity S3 class (infrequent-access style): same request surface
+#: as S3 but a long time-to-first-byte on GET, a slimmer per-stream rate,
+#: and per-request/per-GiB retrieval pricing — the tier the hot RADOS-like
+#: cache fronts in the tiered configuration (ROADMAP item 4).
+S3_COLD_PROFILE = StoreProfile(
+    name="s3-cold",
+    n_osds=256,
+    media_bw=3e9,
+    osd_queue_depth=64,
+    get_latency=14e-3,
+    put_latency=26e-3,
+    delete_latency=10e-3,
+    head_latency=9e-3,
+    list_latency=40e-3,
+    list_page=1000,
+    per_stream_bw=60e6,
+    replication=1,
+    capacity_bytes=1e15,
+    first_byte_latency=30e-3,
+    cost_per_request=4e-7,   # $0.0004 / 1k GETs (infrequent-access class)
+    cost_per_gb=0.01,        # $0.01 / GiB retrieved
 )
 
 

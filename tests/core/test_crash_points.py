@@ -27,7 +27,7 @@ SLOW = bool(os.environ.get("REPRO_SLOW"))
 # Strides chosen so each tier-1 sweep checks ~7 points spread across the
 # whole workload (including the recovery-heavy tail).
 BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5), ("pack", 11),
-           ("shard_split", 16), ("epoch_handoff", 5)]
+           ("shard_split", 16), ("epoch_handoff", 5), ("tier_drain", 16)]
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -71,7 +71,8 @@ def test_full_rename_sweep_every_store_op():
 
 @pytest.mark.skipif(not SLOW, reason="exhaustive sweep; set REPRO_SLOW=1")
 @pytest.mark.parametrize("name", ["mkdir", "checkpoint", "pack",
-                                  "shard_split", "epoch_handoff"])
+                                  "shard_split", "epoch_handoff",
+                                  "tier_drain"])
 def test_full_sweep_other_workloads(name):
     report = sweep(name, stride=1)
     assert report.ok, report.summary()
@@ -113,6 +114,19 @@ def test_seeded_fence_blind_bug_is_caught():
     assert not report.ok
     assert report.profile_failure is not None
     assert "stale-epoch commit" in report.profile_failure
+
+
+def test_seeded_tier_drain_reorder_bug_is_caught():
+    """A drain that reports durability one batch ahead of the cold PUTs
+    survives the fault-free run (reads still hit the hot tier) but loses
+    fsync'd data when a crash wipes the hot tier with the held batch not
+    yet in cold — caught by the tier_drain durability milestones."""
+    assert "tier-drain-reorder" in SEEDED_BUGS
+    report = sweep("tier_drain", stride=7, bug="tier-drain-reorder")
+    assert not report.ok
+    assert report.profile_failure is None, \
+        "bug should survive the fault-free run and only bite post-crash"
+    assert report.violations
 
 
 def test_cli_exit_codes():
