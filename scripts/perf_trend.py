@@ -62,6 +62,7 @@ GATED_PATTERNS = [
     r"\.obs\.sampled_ops$",
     r"\.faults\.transient$",
     r"\.tier\.(hits|promotions|demotions)$",
+    r"\.qos\.(admitted|busy|throttle_ops|throttle_bytes)$",
 ]
 _GATED = [re.compile(p) for p in GATED_PATTERNS]
 

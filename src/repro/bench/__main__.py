@@ -1,9 +1,11 @@
 """Command-line figure regeneration: ``python -m repro.bench [targets...]``.
 
-Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 io500 tier
+Targets: fig1 fig4 fig5 fig6a fig6b fig7 table2 io500 tier qos
 (default: all). ``--tier`` is shorthand for adding the ``tier`` target —
 the A10 hot/cold tiering ablation (aged-read latency, hit rate, cold GET
-savings). Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
+savings) — and ``--qos`` likewise adds the ``qos`` target, the A11
+multi-tenant QoS ablation (slow-tenant isolation, abuser capping).
+Pass ``--small`` for the reduced scale. Pass ``--trace out.json`` to record
 cross-layer spans for every simulated cluster the run builds: the file is
 Chrome trace-event JSON (load it at https://ui.perfetto.dev), and a
 per-phase latency-attribution table is printed per file-system kind.
@@ -43,14 +45,16 @@ from . import (
     format_attribution_merged,
     format_series,
     format_slowlog,
+    format_qos_report,
     format_table,
     format_tier_report,
+    qos_ablation,
     table2_archiving,
     tier_ablation,
 )
 
 TARGETS = ("fig1", "fig4", "fig5", "fig6a", "fig6b", "fig7", "table2",
-           "io500", "tier")
+           "io500", "tier", "qos")
 
 
 def run_target(name: str, scale) -> None:
@@ -85,6 +89,8 @@ def run_target(name: str, scale) -> None:
         print(io500_table(scale=scale))
     elif name == "tier":
         print(format_tier_report(tier_ablation(scale)))
+    elif name == "qos":
+        print(format_qos_report(qos_ablation(scale)))
     else:
         raise SystemExit(f"unknown target {name!r}; pick from {TARGETS}")
     print(f"[{name}: {time.time() - t0:.1f}s wall]\n")
@@ -156,6 +162,8 @@ def main(argv) -> None:
             flight_path = a.split("=", 1)[1]
         elif a == "--tier":
             args.append("tier")
+        elif a == "--qos":
+            args.append("qos")
         elif not a.startswith("-"):
             args.append(a)
     if fault_mode not in (None, "transient"):

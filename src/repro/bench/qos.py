@@ -1,0 +1,115 @@
+"""Ablation A11 — multi-tenant QoS plane (slow-tenant isolation).
+
+Archive-as-a-service: a Zipf-distributed tenant population runs the
+closed-loop ingest mix of :func:`repro.workloads.tenants.archive_service`
+through a few gateway clients while one abusive tenant floods a dedicated
+gateway with concurrent zero-think-time streams. Three configurations
+bracket the claim:
+
+* ``solo``    — QoS on, no abuser: each victim tenant's achievable p99.
+* ``qos-on``  — QoS on, abuser present: token buckets + WFQ + admission
+  control must keep every victim's p99 within 1.5x of solo.
+* ``qos-off`` — default build, abuser present: the damage an unthrottled
+  tenant does to shared FIFO queues (the baseline the plane exists for).
+
+Shared by ``benchmarks/test_ablation_qos.py`` (the acceptance gate) and
+``python -m repro.bench qos`` / ``--qos`` (figure regeneration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..obs import Observability
+from ..sim.engine import Simulator
+from ..workloads.tenants import archive_service
+from .harness import NET_50G, build
+
+__all__ = ["qos_run", "qos_ablation", "format_qos_report"]
+
+#: Victim p99 under attack must stay within this factor of its solo p99.
+ISOLATION_BOUND = 1.5
+
+#: Payload per ingest op. Small-file archive regime (Table II shape).
+PAYLOAD = 16 * 1024
+
+#: The abuser's payload: large objects that clog the shared OSD data path
+#: — the damage vector op-count throttling alone would miss. Kept at one
+#: store object so the non-preemptible in-service time (head-of-line for
+#: a victim behind it) stays bounded; the *aggregate* flood is what the
+#: byte bucket and WFQ must absorb.
+ABUSE_PAYLOAD = 1024 * 1024
+
+
+def qos_run(kind: str, scale, abusive: bool) -> Dict:
+    """One configuration of the A11 matrix; returns a result dict."""
+    sim = Simulator()
+    n_clients = scale.qos_streams + (1 if abusive else 0)
+    cluster, _ = build(kind, sim, n_clients=n_clients, net=NET_50G)
+    res = archive_service(
+        sim, cluster,
+        n_tenants=scale.qos_tenants,
+        ops_per_stream=scale.qos_ops_per_stream,
+        abusive_procs=scale.qos_abusive_procs if abusive else 0,
+        payload=PAYLOAD,
+        abusive_payload=ABUSE_PAYLOAD,
+    )
+    metrics = Observability.of(sim).metrics
+    out = {
+        "kind": kind,
+        "abusive": abusive,
+        "victim_ops": res.victim_ops,
+        "victim_p99": res.victim_p99(),
+        "abusive_ops": res.abusive_ops,
+        "abusive_rejected": res.abusive_rejected,
+        "elapsed": res.elapsed,
+        "abusive_rate": (res.abusive_ops / res.elapsed
+                         if res.elapsed else 0.0),
+        "per_tenant_p99": {t: res.p99(t) for t in res.victim_tenants()},
+    }
+    if cluster.qos is not None:
+        out["qos"] = {
+            "admitted": metrics.counter("qos.admitted").value,
+            "busy": metrics.counter("qos.busy").value,
+            "throttle_ops": metrics.counter("qos.throttle_ops").value,
+            "throttle_bytes": metrics.counter("qos.throttle_bytes").value,
+        }
+    return out
+
+
+def qos_ablation(scale) -> Dict[str, Dict]:
+    """A11: solo baseline, QoS under attack, and the unprotected control."""
+    return {
+        "solo": qos_run("arkfs-qos", scale, abusive=False),
+        "qos-on": qos_run("arkfs-qos", scale, abusive=True),
+        "qos-off": qos_run("arkfs", scale, abusive=True),
+    }
+
+
+def format_qos_report(results: Dict[str, Dict]) -> str:
+    solo, on, off = results["solo"], results["qos-on"], results["qos-off"]
+    lines = [
+        f"A11 — multi-tenant QoS, {len(solo['per_tenant_p99'])} victim "
+        f"tenants, {on['victim_ops']} victim ops vs one abusive tenant",
+        f"  {'config':<10} {'victim p99':>12} {'vs solo':>8} "
+        f"{'abuser ops/s':>13} {'rejected':>9}",
+    ]
+    for label, r in (("solo", solo), ("qos-on", on), ("qos-off", off)):
+        ratio = (r["victim_p99"] / solo["victim_p99"]
+                 if solo["victim_p99"] else float("inf"))
+        lines.append(
+            f"  {label:<10} {r['victim_p99'] * 1e3:>10.2f}ms "
+            f"{ratio:>7.2f}x {r['abusive_rate']:>13,.0f} "
+            f"{r['abusive_rejected']:>9}")
+    q = on.get("qos")
+    if q is not None:
+        lines.append(
+            f"  qos-on plane: {q['admitted']} admitted, {q['busy']} busy "
+            f"(EAGAIN), {q['throttle_ops']} op throttles, "
+            f"{q['throttle_bytes']} byte throttles")
+    ratio = (on["victim_p99"] / solo["victim_p99"]
+             if solo["victim_p99"] else float("inf"))
+    verdict = "HOLDS" if ratio < ISOLATION_BOUND else "VIOLATED"
+    lines.append(
+        f"  isolation bound ({ISOLATION_BOUND:.1f}x solo p99): {verdict}")
+    return "\n".join(lines)

@@ -10,6 +10,7 @@
 * :mod:`pack` — packed small-file containers (log-structured packing,
   extent index, background compaction).
 * :mod:`filelease` — read/write leases on file data (leader-issued).
+* :mod:`qos` — multi-tenant QoS: token buckets, WFQ, admission control.
 * :mod:`client` / :mod:`ops` — the ArkFS client and its leader-side ops.
 * :mod:`recovery` — journal replay after client / manager failures.
 * :mod:`fs` — cluster assembly (:func:`build_arkfs`).
@@ -38,6 +39,7 @@ from .ops import RedirectError
 from .pack import PackWriter
 from .params import DEFAULT_PARAMS, ArkFSParams
 from .prt import PRT
+from .qos import QosManager, TenantBusy, TokenBucket, WFQResource
 from .radix import RadixTree
 from .recovery import recover_directory, resolve_decision, scan_journal
 from .types import Dentry, Inode, InoAllocator, PackExtent, ROOT_INO, ino_hex
@@ -65,13 +67,17 @@ __all__ = [
     "PRT",
     "PackExtent",
     "PackWriter",
+    "QosManager",
     "READ",
     "ROOT_INO",
     "RadixTree",
     "ReadAheadState",
     "RedirectError",
     "RemoteTable",
+    "TenantBusy",
+    "TokenBucket",
     "Transaction",
+    "WFQResource",
     "WRITE",
     "apply_ops",
     "build_arkfs",

@@ -53,6 +53,7 @@ from .ops import LeaderOps, RedirectError
 from .pack import PackWriter
 from .params import ArkFSParams
 from .prt import PRT
+from .qos import TenantBusy
 from .recovery import (
     DECISION_ABORT,
     DECISION_COMMIT,
@@ -154,11 +155,28 @@ class ArkFSClient(LeaderOps, VFSClient):
         self._fencing = getattr(lease_service, "fencing", None)
         self._wire_fencing()
 
+        # Multi-tenant QoS plane (off by default: both stay None and every
+        # dispatch/data path is structurally unchanged; build_arkfs installs
+        # the manager and a tenant when qos_enabled).
+        self.qos = None
+        self.tenant: Optional[str] = None
+        self._qos_depth = 0  # admission applies to top-level ops only
+
         node.register("arkfs", self._h_dispatch)
         node.register("arkfs.cache_invalidate", self._h_cache_invalidate)
         self.journal.start_threads()
         self._keeper = sim.process(self._lease_keeper(),
                                    name=f"{self.name}.keeper")
+
+    def bind_tenant(self, tenant: str) -> None:
+        """Attribute subsequent ops from this client to ``tenant`` (the
+        gateway model: one client fronting many tenants, switching between
+        ops). Requires the QoS plane; per-op rebinding is safe as long as
+        the client issues one foreground op at a time."""
+        self.tenant = tenant
+        self.node.tenant = tenant
+        if self.qos is not None:
+            self.qos.register_client(self.name, tenant)
 
     def _leads_dir(self, dir_ino: int) -> bool:
         """Do we currently hold this directory's metatable lease? (Extent
@@ -440,7 +458,37 @@ class ArkFSClient(LeaderOps, VFSClient):
 
     def _authority_op_where(self, dir_ino: int, opname: str,
                             creds: Optional[Credentials],
-                            **kwargs: Any) -> SimGen:
+                            **kwargs: Any):
+        """Dispatch an authority op, applying QoS admission + throttling to
+        top-level ops when the QoS plane is installed. Plain function
+        returning the generator to ``yield from`` (zero overhead off)."""
+        if self.qos is None or self._qos_depth:
+            return self._authority_op_core(dir_ino, opname, creds, **kwargs)
+        return self._authority_op_qos(dir_ino, opname, creds, kwargs)
+
+    def _authority_op_qos(self, dir_ino: int, opname: str,
+                          creds: Optional[Credentials],
+                          kwargs: Dict[str, Any]) -> SimGen:
+        """QoS wrapper: ops token bucket + bounded in-flight admission
+        (TenantBusy → EAGAIN, retried through the client retry policy),
+        with the op's latency attributed to the tenant."""
+        qos, tenant = self.qos, self.tenant
+        yield from self._retry.call(lambda: qos.enter_op(tenant),
+                                    retry_on=(TenantBusy,))
+        t0 = self.sim.now
+        self._qos_depth += 1
+        try:
+            result = yield from self._authority_op_core(
+                dir_ino, opname, creds, **kwargs)
+        finally:
+            self._qos_depth -= 1
+            qos.exit_op(tenant)
+            qos.observe_op(tenant, self.sim.now - t0)
+        return result
+
+    def _authority_op_core(self, dir_ino: int, opname: str,
+                           creds: Optional[Credentials],
+                           **kwargs: Any) -> SimGen:
         """Run an op at the directory's authority; retries across leader
         changes. Returns (result, leader_name_or_None_if_local, dir_ino
         the op actually ran against — the hash-routed shard when the
@@ -1006,6 +1054,8 @@ class ArkFSClient(LeaderOps, VFSClient):
         pos = handle.pos if offset is None else offset
         grant = yield from self._file_lease(handle, READ)
         eff = max(0, min(size, st.size - pos))
+        if self.qos is not None:
+            yield from self.qos.throttle_bytes(self.tenant, eff)
         if eff == 0:
             data = b""
         elif grant.mode == DIRECT:
@@ -1028,6 +1078,8 @@ class ArkFSClient(LeaderOps, VFSClient):
         else:
             pos = handle.pos if offset is None else offset
         grant = yield from self._file_lease(handle, WRITE)
+        if self.qos is not None:
+            yield from self.qos.throttle_bytes(self.tenant, len(data))
         if grant.mode == DIRECT:
             yield from self.prt.write_data(handle.ino, pos, data,
                                            src=self.node)
@@ -1291,6 +1343,11 @@ class ArkFSClient(LeaderOps, VFSClient):
                     ev.succeed()
             self._split_busy.clear()
         self.fleases.files.clear()
+        if self.qos is not None:
+            # Ops abandoned mid-throttle never reach their exit_op; drop
+            # the tenant's in-flight accounting so recovery isn't starved.
+            self.qos.release_tenant(self.tenant)
+            self._qos_depth = 0
         self._keeper.interrupt("crash")
 
     def restart(self) -> None:

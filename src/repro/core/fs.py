@@ -51,6 +51,7 @@ class ArkFSCluster:
     params: ArkFSParams
     lease_manager: LeaseManager          # the first (or only) manager
     lease_service: object = None         # LeaseManager or LeaseManagerCluster
+    qos: object = None                   # QosManager when params.qos_enabled
     clients: List[ArkFSClient] = field(default_factory=list)
     mounts: List[FuseMount] = field(default_factory=list)
 
@@ -97,6 +98,14 @@ def build_arkfs(
     parameter.
     """
     net = Network(sim, net_params or NetParams())
+    # Multi-tenant QoS plane: built first so the stores' OSD queues and the
+    # lease managers' CPUs come up tenant-weighted. ``None`` (the default)
+    # leaves every queue/dispatch path structurally identical to a build
+    # without the subsystem.
+    qos = None
+    if params.qos_enabled:
+        from .qos import QosManager
+        qos = QosManager(sim, params)
     if store is None and params.tier_enabled:
         # Hot/cold tiered backend: a fast RADOS-like tier fronting a cold
         # capacity store. The fault shim wraps *each* tier so every
@@ -108,9 +117,9 @@ def build_arkfs(
             cold: ObjectStore = InMemoryObjectStore(sim)
         else:
             hot = ClusterObjectStore(sim, store_profile or RADOS_PROFILE,
-                                     net=net)
+                                     net=net, qos=qos)
             cold = ClusterObjectStore(sim, cold_profile or S3_COLD_PROFILE,
-                                      net=net)
+                                      net=net, qos=qos)
         if faults is not None:
             from ..faults.store import FaultyObjectStore
             hot = FaultyObjectStore(hot, faults)
@@ -135,7 +144,7 @@ def build_arkfs(
             else:
                 store = ClusterObjectStore(sim,
                                            store_profile or RADOS_PROFILE,
-                                           net=net)
+                                           net=net, qos=qos)
         if faults is not None:
             from ..faults.store import FaultyObjectStore
             store = FaultyObjectStore(store, faults)
@@ -158,13 +167,30 @@ def build_arkfs(
         service = LeaseManagerCluster(sim, mgr_nodes, params)
         first = service.managers[0]
 
+    if qos is not None:
+        # Tenant-weighted WFQ replaces the FIFO CPU queue at every lease
+        # manager; handlers attribute their work via the client name on
+        # the lease RPC (QosManager.tenant_of).
+        from .qos import WFQResource
+        managers = getattr(service, "managers", None) or [service]
+        for m in managers:
+            m.qos = qos
+            m.node.cpu = WFQResource(sim, capacity=m.node.cpu.capacity,
+                                     name=m.node.cpu.name,
+                                     weight_of=qos.weight_of)
+
     alloc = InoAllocator(seed=seed)
     cluster = ArkFSCluster(sim=sim, net=net, store=store, prt=prt,
                            params=params, lease_manager=first,
-                           lease_service=service)
+                           lease_service=service, qos=qos)
     for i in range(n_clients):
         node = Node(sim, f"client{i}", cores=client_cores, net=net)
         client = ArkFSClient(sim, node, prt, params, service, alloc)
+        if qos is not None:
+            # Default tenancy: one tenant per client, named after the
+            # client node; workloads rebind via client.bind_tenant().
+            client.qos = qos
+            client.bind_tenant(node.name)
         cluster.clients.append(client)
         cluster.mounts.append(FuseMount(client, node, mount_params))
     # Every client knows the population, so shard-lease placement hashes

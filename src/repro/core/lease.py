@@ -158,6 +158,10 @@ class LeaseManager:
         self.cluster = cluster
         self.index = index
         self.leases: Dict[int, _LeaseState] = {}
+        # QoS plane (build_arkfs installs it when qos_enabled): when set,
+        # handler CPU is a tenant-weighted WFQ and ops are attributed to
+        # the requesting client's tenant.
+        self.qos = None
         self._boot_time = sim.now
         self._restarted = False  # the startup gate applies only to restarts
         self.stats = {"acquire": 0, "extend": 0, "redirect": 0, "release": 0,
@@ -180,8 +184,13 @@ class LeaseManager:
 
     # -- handlers ------------------------------------------------------------------
 
-    def _work(self) -> SimGen:
-        yield from self.node.work(self.params.lease_op_cpu)
+    def _work(self, client: Optional[str] = None) -> SimGen:
+        qos = self.qos
+        if qos is None:
+            yield from self.node.work(self.params.lease_op_cpu)
+        else:
+            cpu = self.params.lease_op_cpu
+            yield from self.node.cpu.use_wfq(cpu, qos.tenant_of(client), cpu)
 
     def _grant(self, dir_ino: int, st: _LeaseState, rs, fresh: bool,
                needs_recovery: bool) -> LeaseGrant:
@@ -192,7 +201,7 @@ class LeaseManager:
                           needs_recovery=needs_recovery, mgr_epoch=me)
 
     def _h_acquire(self, dir_ino: int, client: str) -> SimGen:
-        yield from self._work()
+        yield from self._work(client)
         now = self.sim.now
         rs = None
         if self.cluster is None:
@@ -287,7 +296,7 @@ class LeaseManager:
         return self._grant(dir_ino, st, rs, fresh=True, needs_recovery=False)
 
     def _h_release(self, dir_ino: int, client: str, clean: bool) -> SimGen:
-        yield from self._work()
+        yield from self._work(client)
         if (self.cluster is not None
                 and self.cluster.range_for(dir_ino).owner != self.index):
             return False  # deposed: this manager's state for the dir is void
@@ -303,7 +312,7 @@ class LeaseManager:
 
     def _h_recovered(self, dir_ino: int, client: str) -> SimGen:
         """The recovering leader finished journal replay; renew its lease."""
-        yield from self._work()
+        yield from self._work(client)
         if (self.cluster is not None
                 and self.cluster.range_for(dir_ino).owner != self.index):
             return False

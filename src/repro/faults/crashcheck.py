@@ -621,6 +621,95 @@ def _wl_tier_drain() -> Workload:
                     crash_handler=crash_handler)
 
 
+def _wl_qos_backlog() -> Workload:
+    """Multi-tenant QoS plane: crash points while ops sit queued behind
+    admission and token-bucket throttles.
+
+    Tight per-tenant rates (a few ops/s, a few KiB/s) put every victim op
+    into a throttle sleep, and the concurrent-burst steps keep several
+    fsyncs in flight at once — at the crash instant the victim holds
+    admission slots and a token deficit, plus whatever store ops were
+    mid-flight. Recovery must drain it all cleanly: the dead tenant's
+    in-flight accounting is dropped (``QosManager.release_tenant`` runs in
+    ``client.crash()``), the survivor — its own tenant, same plane — walks
+    and replays the namespace without spurious EAGAINs, and every fsync
+    that returned before the crash is durable despite having waited out a
+    throttle on the way in."""
+    params = DEFAULT_PARAMS.with_(
+        qos_enabled=True, qos_ops_rate=60.0, qos_ops_burst=4.0,
+        qos_bytes_rate=64 * KiB, qos_bytes_burst=16 * KiB,
+        qos_max_inflight=4)
+    content = {i: bytes([103 + i]) * (12_000 + 900 * i) for i in range(8)}
+
+    def setup(c):
+        yield from c.mkdir(ROOT_CREDS, "/q")
+        yield from c.sync()
+
+    def wr(i, fsync):
+        return lambda c: c.write_file(ROOT_CREDS, f"/q/f{i}", content[i],
+                                      do_fsync=fsync)
+
+    def present_check(i):
+        def check(fs):
+            got = fs.read_file(f"/q/f{i}")
+            assert got == content[i], \
+                f"/q/f{i} holds {len(got)} bytes != expected"
+        return check
+
+    def burst(first, last):
+        # Concurrent fsyncs from one gateway: the admission slots fill and
+        # the ops/bytes buckets run a deficit, so the sweep lands crash
+        # points while requests are queued *inside* the QoS plane.
+        def gen(c):
+            procs = [c.sim.process(wr(i, True)(c), name=f"burst:f{i}")
+                     for i in range(first, last)]
+            yield c.sim.all_of(procs)
+        return gen
+
+    def burst_check(first, last):
+        def check(fs):
+            for i in range(first, last):
+                present_check(i)(fs)
+        return check
+
+    steps = [Step(f"fsync:f{i}", gen=wr(i, True), durable=present_check(i))
+             for i in range(2)]
+    steps.append(Step("burst:f2-f5", gen=burst(2, 6),
+                      durable=burst_check(2, 6)))
+    steps += [Step(f"write:f{i}", gen=wr(i, False)) for i in range(6, 8)]
+    steps.append(Step("sync-1", gen=lambda c: c.sync(),
+                      durable=burst_check(6, 8)))
+    # A scratch file with no presence contract of its own: its unlink can
+    # become durable at any later crash point without contradicting an
+    # earlier step's durability closure.
+    steps.append(Step("fsync:tmp",
+                      gen=lambda c: c.write_file(ROOT_CREDS, "/q/tmp",
+                                                 b"\x7f" * 9_000,
+                                                 do_fsync=True)))
+    steps.append(Step("unlink:tmp",
+                      gen=lambda c: c.unlink(ROOT_CREDS, "/q/tmp")))
+    steps.append(Step("sync-2", gen=lambda c: c.sync(),
+                      durable=lambda fs: _assert(not fs.exists("/q/tmp"),
+                                                 "/q/tmp survived unlink")))
+    steps.append(Step("advance-settle", advance=1.0))
+
+    def invariants(fs, violations):
+        # Exact-or-zeros, as in the pack/tier workloads: throttle sleeps
+        # and admission retries must never tear or cross-wire file bytes.
+        for i in range(8):
+            path = f"/q/f{i}"
+            if not fs.exists(path):
+                continue
+            got = fs.read_file(path)
+            if got not in (content[i], b"\x00" * len(got), b""):
+                violations.append(
+                    f"{path} holds {len(got)} bytes that are neither its "
+                    f"content nor zeros")
+
+    return Workload("qos_backlog", setup=setup, steps=steps,
+                    invariants=invariants, params=params)
+
+
 def _noop_setup(client):
     yield client.sim.timeout(0)
 
@@ -637,6 +726,7 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "shard_split": _wl_shard_split,
     "epoch_handoff": _wl_epoch_handoff,
     "tier_drain": _wl_tier_drain,
+    "qos_backlog": _wl_qos_backlog,
 }
 
 

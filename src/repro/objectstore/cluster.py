@@ -39,12 +39,23 @@ def _timed(sim: Simulator, delay: float, name: str, cat: str) -> SimGen:
 
 
 class _OSD:
-    """One storage daemon: a service-slot queue plus a media pipe."""
+    """One storage daemon: a service-slot queue plus a media pipe.
 
-    def __init__(self, sim: Simulator, index: int, profile: StoreProfile):
+    With the QoS plane installed the service queue is a tenant-weighted
+    :class:`~repro.core.qos.WFQResource` instead of a FIFO."""
+
+    def __init__(self, sim: Simulator, index: int, profile: StoreProfile,
+                 qos=None):
         self.index = index
-        self.queue = Resource(sim, capacity=profile.osd_queue_depth,
-                              name=f"osd{index}.q")
+        if qos is None:
+            self.queue = Resource(sim, capacity=profile.osd_queue_depth,
+                                  name=f"osd{index}.q")
+        else:
+            from ..core.qos import WFQResource
+
+            self.queue = WFQResource(sim, capacity=profile.osd_queue_depth,
+                                     name=f"osd{index}.q",
+                                     weight_of=qos.weight_of)
         # FIFO at full rate: a lone stream gets the whole device, while the
         # aggregate under contention still caps at media_bw.
         self.media = BandwidthPipe(sim, profile.media_bw,
@@ -62,6 +73,7 @@ class ClusterObjectStore(ObjectStore):
         sim: Simulator,
         profile: StoreProfile,
         net: Optional[Network] = None,
+        qos=None,
     ):
         self.sim = sim
         self.profile = profile
@@ -69,8 +81,10 @@ class ClusterObjectStore(ObjectStore):
         # time-to-first-byte (0.0 on warm profiles — timing-identical).
         self._get_fixed = profile.get_latency + profile.first_byte_latency
         self.net = net
+        self.qos = qos
         self.backing = InMemoryObjectStore(sim)
-        self.osds = [_OSD(sim, i, profile) for i in range(profile.n_osds)]
+        self.osds = [_OSD(sim, i, profile, qos=qos)
+                     for i in range(profile.n_osds)]
         self.bytes_read = 0
         self.bytes_written = 0
         self._pending_creates: set = set()
@@ -95,6 +109,13 @@ class ClusterObjectStore(ObjectStore):
         return [self.osds[(h + i) % n] for i in range(k + m)]
 
     # -- cost helpers ---------------------------------------------------------
+
+    def _tenant(self, src: Optional[Node]) -> Optional[str]:
+        """The requesting node's tenant, for WFQ attribution. ``None`` (the
+        default tenant) without the QoS plane or for infrastructure ops."""
+        if self.qos is None or src is None:
+            return None
+        return src.tenant
 
     def _client_leg(self, src: Optional[Node], nbytes: int) -> SimGen:
         """Charge the calling node's NIC for moving ``nbytes``; plus the
@@ -133,11 +154,17 @@ class ClusterObjectStore(ObjectStore):
                 yield from _timed(self.sim, stream_time - nic_time,
                                   "stream.cap", "net")
 
-    def _service(self, osd: _OSD, fixed: float, nbytes: int) -> SimGen:
+    def _service(self, osd: _OSD, fixed: float, nbytes: int,
+                 tenant: Optional[str] = None) -> SimGen:
         """Occupy an OSD service slot for the request, then move data
         through its media pipe."""
         tr = self.sim._tracer
-        req = osd.queue.request()
+        if self.qos is not None:
+            # WFQ cost: slot time plus the media time this request induces.
+            cost = fixed + (nbytes / self.profile.media_bw if nbytes else 0.0)
+            req = osd.queue.request_wfq(tenant, cost)
+        else:
+            req = osd.queue.request()
         if tr is not None and not req.granted:
             with tr.span(osd.wait_name, "queue"):
                 yield req
@@ -161,12 +188,13 @@ class ClusterObjectStore(ObjectStore):
         data = self.backing.sync_get(key)  # raise NoSuchKey before paying cost
         sp = _span(self.sim, "store.get", "store")
         try:
+            tenant = self._tenant(src)
             if self.profile.erasure is not None:
-                yield from self._ec_gather(key, len(data))
+                yield from self._ec_gather(key, len(data), tenant)
             else:
                 osd = self.osd_for(key)
                 yield from self._service(osd, self._get_fixed,
-                                         len(data))
+                                         len(data), tenant)
             yield from self._client_leg(src, len(data))
         finally:
             sp.close()
@@ -174,13 +202,14 @@ class ClusterObjectStore(ObjectStore):
         self.backing.op_counts["get"] += 1
         return data
 
-    def _ec_gather(self, key: str, nbytes: int) -> SimGen:
+    def _ec_gather(self, key: str, nbytes: int,
+                   tenant: Optional[str] = None) -> SimGen:
         """Read the k data shards in parallel and decode the stripe."""
         k, _m = self.profile.erasure
         shard = -(-nbytes // k)
         reads = [
             self.sim.process(
-                self._service(osd, self._get_fixed, shard),
+                self._service(osd, self._get_fixed, shard, tenant),
                 name=f"ec-read{osd.index}")
             for osd in self.shards_for(key)[:k]
         ]
@@ -196,7 +225,8 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.get_range", "store")
         try:
             osd = self.osd_for(key)
-            yield from self._service(osd, self._get_fixed, len(data))
+            yield from self._service(osd, self._get_fixed, len(data),
+                                     self._tenant(src))
             yield from self._client_leg(src, len(data))
         finally:
             sp.close()
@@ -208,11 +238,12 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.put", "store")
         try:
             yield from self._client_leg(src, len(data))
-            yield from self._server_put(key, data)
+            yield from self._server_put(key, data, self._tenant(src))
         finally:
             sp.close()
 
-    def _server_put(self, key: str, data: bytes) -> SimGen:
+    def _server_put(self, key: str, data: bytes,
+                    tenant: Optional[str] = None) -> SimGen:
         """Backend side of a PUT (replication / EC fan-out, no client leg)."""
         if self.profile.erasure is not None:
             k, m = self.profile.erasure
@@ -221,7 +252,8 @@ class ClusterObjectStore(ObjectStore):
                               "ec.encode", "cpu")
             writes = [
                 self.sim.process(
-                    self._service(osd, self.profile.put_latency, shard),
+                    self._service(osd, self.profile.put_latency, shard,
+                                  tenant),
                     name=f"ec-write{osd.index}",
                 )
                 for osd in self.shards_for(key)
@@ -231,7 +263,8 @@ class ClusterObjectStore(ObjectStore):
             # the request completes when the slowest acknowledges.
             writes = [
                 self.sim.process(
-                    self._service(osd, self.profile.put_latency, len(data)),
+                    self._service(osd, self.profile.put_latency, len(data),
+                                  tenant),
                     name=f"put-replica{osd.index}",
                 )
                 for osd in self.replicas_for(key)
@@ -246,7 +279,8 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.delete", "store")
         try:
             osd = self.osd_for(key)
-            yield from self._service(osd, self.profile.delete_latency, 0)
+            yield from self._service(osd, self.profile.delete_latency, 0,
+                                     self._tenant(src))
         finally:
             sp.close()
         self.backing.sync_delete(key)
@@ -257,7 +291,8 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.head", "store")
         try:
             osd = self.osd_for(key)
-            yield from self._service(osd, self.profile.head_latency, 0)
+            yield from self._service(osd, self.profile.head_latency, 0,
+                                     self._tenant(src))
         finally:
             sp.close()
         self.backing.op_counts["head"] += 1
@@ -281,7 +316,8 @@ class ClusterObjectStore(ObjectStore):
         try:
             if key in self.backing or key in self._pending_creates:
                 osd = self.osd_for(key)
-                yield from self._service(osd, self.profile.put_latency, 0)
+                yield from self._service(osd, self.profile.put_latency, 0,
+                                         self._tenant(src))
                 return False
             self._pending_creates.add(key)
             try:
@@ -303,16 +339,17 @@ class ClusterObjectStore(ObjectStore):
         tr = self.sim._tracer
         sp = _span(self.sim, "store.get_many", "store")
         values = [self.backing._data.get(k) for k in keys]
+        tenant = self._tenant(src)
         try:
             reads = []
             for key, data in zip(keys, values):
                 if data is None:
                     continue
                 if self.profile.erasure is not None:
-                    gen = self._ec_gather(key, len(data))
+                    gen = self._ec_gather(key, len(data), tenant)
                 else:
                     gen = self._service(self.osd_for(key),
-                                        self._get_fixed, len(data))
+                                        self._get_fixed, len(data), tenant)
                 if tr is not None:
                     # Per-item span inside the scatter-gather batch.
                     gen = tr.wrap("store.get", gen, "store", key=key)
@@ -335,9 +372,10 @@ class ClusterObjectStore(ObjectStore):
         sp = _span(self.sim, "store.put_many", "store")
         try:
             yield from self._client_leg_many(src, [len(d) for _k, d in items])
+            tenant = self._tenant(src)
             writes = []
             for k, d in items:
-                gen = self._server_put(k, d)
+                gen = self._server_put(k, d, tenant)
                 if tr is not None:
                     gen = tr.wrap("store.put", gen, "store", key=k)
                 writes.append(self.sim.process(gen, name=f"mput:{k}"))
@@ -350,9 +388,11 @@ class ClusterObjectStore(ObjectStore):
         tr = self.sim._tracer
         sp = _span(self.sim, "store.delete_many", "store")
         present = [k for k in keys if k in self.backing]
+        tenant = self._tenant(src)
         deletes = []
         for k in present:
-            gen = self._service(self.osd_for(k), self.profile.delete_latency, 0)
+            gen = self._service(self.osd_for(k), self.profile.delete_latency,
+                                0, tenant)
             if tr is not None:
                 gen = tr.wrap("store.delete", gen, "store", key=k)
             deletes.append(self.sim.process(gen, name=f"mdel:{k}"))

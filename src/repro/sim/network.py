@@ -63,6 +63,9 @@ class Node:
         bw = nic_bps if nic_bps is not None else (net.params.bandwidth_bps if net else 10e9 / 8)
         self.nic = BandwidthPipe(sim, bw, name=f"{name}.nic")
         self.alive = True
+        # QoS tenant attribution: set by build_arkfs / bind_tenant when the
+        # QoS plane is enabled; stores read it only when qos is installed.
+        self.tenant: Optional[str] = None
         self._handlers: Dict[str, Callable[..., SimGen]] = {}
         if net is not None:
             net.attach(self)

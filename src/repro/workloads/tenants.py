@@ -1,0 +1,180 @@
+"""Archive-as-a-service: many tenants, Zipf load, one abusive tenant.
+
+The scale-out scenario behind ablation A11 (ROADMAP item 2). A handful of
+gateway clients front a large tenant population: each *victim* stream runs
+closed-loop archive ingest ops (create + write + fsync + close, with a
+read-back mix), picking the acting tenant per op from a Zipf distribution
+and rebinding via ``client.bind_tenant``. One optional *abusive* tenant
+gets a dedicated client and hammers it with ``abusive_procs`` concurrent
+zero-think-time streams — orders of magnitude more offered load than any
+victim — until the victims finish.
+
+Every op's end-to-end latency lands both in the returned per-tenant lists
+(exact, for assertions) and in the obs metrics registry as
+``tenant.<tid>.lat`` histograms (log-bucketed, exported into every
+BENCH json with p50/p95/p99). The scenario itself is QoS-agnostic: run it
+against a ``qos_enabled`` build and the same code exercises token buckets,
+WFQ, and admission; run it against a default build to measure the damage
+an unthrottled tenant does.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..obs import Observability
+from ..posix.errors import FSError
+from ..posix.types import OpenFlags, ROOT_CREDS
+from ..sim.engine import SimGen, Simulator
+from .runner import run_phase
+
+__all__ = ["TenantLoadResult", "archive_service", "zipf_ranks"]
+
+ABUSER = "abuser"
+
+
+def zipf_ranks(n: int, s: float = 1.1) -> List[float]:
+    """Cumulative Zipf(s) weights over ranks 1..n, for bisect sampling."""
+    acc, out = 0.0, []
+    for rank in range(1, n + 1):
+        acc += 1.0 / rank ** s
+        out.append(acc)
+    return [w / acc for w in out]
+
+
+@dataclass
+class TenantLoadResult:
+    """Per-tenant latencies plus aggregate accounting for one run."""
+
+    lats: Dict[str, List[float]] = field(default_factory=dict)
+    victim_ops: int = 0
+    abusive_ops: int = 0
+    abusive_rejected: int = 0
+    elapsed: float = 0.0
+
+    def p99(self, tenant: str) -> float:
+        xs = sorted(self.lats[tenant])
+        return xs[max(0, int(len(xs) * 0.99) - 1)]
+
+    def victim_p99(self) -> float:
+        """p99 over every victim-tenant op (the abuser excluded)."""
+        xs = sorted(x for t, v in self.lats.items() if t != ABUSER
+                    for x in v)
+        return xs[max(0, int(len(xs) * 0.99) - 1)]
+
+    def victim_tenants(self) -> List[str]:
+        return sorted(t for t in self.lats if t != ABUSER)
+
+
+def archive_service(
+    sim: Simulator,
+    cluster,
+    n_tenants: int,
+    ops_per_stream: int,
+    abusive_procs: int = 0,
+    payload: int = 16 * 1024,
+    abusive_payload: int = None,
+    think: float = 0.002,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> TenantLoadResult:
+    """Run the archive-as-a-service mix on a built ArkFS cluster.
+
+    Victim streams run on ``cluster.clients[:-1]`` (all clients when
+    ``abusive_procs == 0``); the last client is the abuser's dedicated
+    gateway. Tenant weights are uniform — isolation must come from the QoS
+    plane, not from configuration favors.
+    """
+    clients = cluster.clients
+    n_streams = len(clients) - (1 if abusive_procs else 0)
+    if n_streams < 1:
+        raise ValueError("need at least one victim client")
+    metrics = Observability.of(sim).metrics
+    cdf = zipf_ranks(n_tenants, zipf_s)
+    result = TenantLoadResult()
+    stop = [False]
+
+    def setup() -> SimGen:
+        c = clients[0]
+        yield from c.mkdir(ROOT_CREDS, "/svc", 0o777)
+        for v in range(n_streams):
+            yield from c.mkdir(ROOT_CREDS, f"/svc/s{v}", 0o777)
+        if abusive_procs:
+            yield from c.mkdir(ROOT_CREDS, "/svc/abuse", 0o777)
+
+    run_phase(sim, [sim.process(setup(), name="svc-setup")])
+
+    data = bytes(payload)
+    # The abuser may slam much larger objects than the victims' small-file
+    # ingest — the realistic damage vector is the shared OSD data path,
+    # not op count alone.
+    abuse_data = bytes(abusive_payload) if abusive_payload else data
+
+    def record(tenant: str, dt: float) -> None:
+        result.lats.setdefault(tenant, []).append(dt)
+        metrics.histogram(f"tenant.{tenant}.lat").observe(dt)
+
+    def victim_stream(v: int) -> SimGen:
+        c = clients[v]
+        rng = random.Random((seed << 16) ^ v)
+        last_path = None
+        for k in range(ops_per_stream):
+            tid = f"t{bisect.bisect(cdf, rng.random())}"
+            c.bind_tenant(tid)
+            t0 = sim.now
+            if last_path is not None and k % 4 == 3:
+                # Read-back mix: one retrieval per three ingests.
+                h = yield from c.open(ROOT_CREDS, last_path,
+                                      OpenFlags.O_RDONLY)
+                yield from c.read(h, payload)
+                yield from c.close(h)
+            else:
+                path = f"/svc/s{v}/o{k}"
+                h = yield from c.open(
+                    ROOT_CREDS, path,
+                    OpenFlags.O_CREAT | OpenFlags.O_EXCL | OpenFlags.O_WRONLY)
+                yield from c.write(h, data)
+                yield from c.fsync(h)
+                yield from c.close(h)
+                last_path = path
+            record(tid, sim.now - t0)
+            result.victim_ops += 1
+            if think > 0:
+                yield sim.timeout(think)
+
+    def abusive_stream(p: int) -> SimGen:
+        c = clients[-1]
+        c.bind_tenant(ABUSER)
+        k = 0
+        while not stop[0]:
+            t0 = sim.now
+            try:
+                path = f"/svc/abuse/p{p}.o{k}"
+                h = yield from c.open(
+                    ROOT_CREDS, path,
+                    OpenFlags.O_CREAT | OpenFlags.O_EXCL | OpenFlags.O_WRONLY)
+                yield from c.write(h, abuse_data)
+                yield from c.fsync(h)
+                yield from c.close(h)
+            except FSError:
+                # Admission gave up after its retry budget (EAGAIN): the
+                # backpressure the QoS plane is supposed to apply.
+                result.abusive_rejected += 1
+            else:
+                result.abusive_ops += 1
+                record(ABUSER, sim.now - t0)
+            k += 1
+
+    t_start = sim.now
+    abusers = [sim.process(abusive_stream(p), name=f"abuse[{p}]")
+               for p in range(abusive_procs)]
+    victims = [sim.process(victim_stream(v), name=f"victim[{v}]")
+               for v in range(n_streams)]
+    run_phase(sim, victims)
+    stop[0] = True
+    run_phase(sim, abusers)
+    result.elapsed = sim.now - t_start
+    return result

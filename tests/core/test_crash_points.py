@@ -27,7 +27,8 @@ SLOW = bool(os.environ.get("REPRO_SLOW"))
 # Strides chosen so each tier-1 sweep checks ~7 points spread across the
 # whole workload (including the recovery-heavy tail).
 BOUNDED = [("mkdir", 9), ("rename", 37), ("checkpoint", 5), ("pack", 11),
-           ("shard_split", 16), ("epoch_handoff", 5), ("tier_drain", 16)]
+           ("shard_split", 16), ("epoch_handoff", 5), ("tier_drain", 16),
+           ("qos_backlog", 13)]
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
